@@ -1,0 +1,124 @@
+package monsoon
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"monsoon/internal/harness"
+)
+
+// These testing.B benchmarks regenerate the paper's tables and figures at
+// the tiny scale — one benchmark per table/figure of §6, as macro-benchmarks
+// over the whole pipeline (generators → optimizers → engine → aggregation).
+// `go run ./cmd/monsoon-bench -scale small` produces the full-size campaign
+// recorded in EXPERIMENTS.md.
+
+// benchScale shrinks the tiny scale further so the full -bench=. sweep stays
+// in CI territory.
+func benchScale() harness.Scale {
+	sc := harness.Tiny()
+	sc.IMDBQueryCount = 4
+	sc.MCTSIterations = 80
+	sc.Timeout = 2 * time.Second
+	sc.MaxTuples = 1e6
+	return sc
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		harness.Table1(io.Discard)
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		harness.Figure2(io.Discard)
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := &harness.Runner{Scale: benchScale()}
+		if err := r.Table2(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := &harness.Runner{Scale: benchScale()}
+		if err := r.Table3(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := &harness.Runner{Scale: benchScale()}
+		if err := r.Table4(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := &harness.Runner{Scale: benchScale()}
+		if err := r.Table5(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := &harness.Runner{Scale: benchScale()}
+		if err := r.Table6(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := &harness.Runner{Scale: benchScale()}
+		if err := r.Table7(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := &harness.Runner{Scale: benchScale()}
+		if err := r.Figure3(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := &harness.Runner{Scale: benchScale()}
+		if err := r.Table8(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMonsoonSingleQuery measures one end-to-end Monsoon run (optimize +
+// execute) on the public-API quickstart shape — the per-query unit behind
+// every table row above.
+func BenchmarkMonsoonSingleQuery(b *testing.B) {
+	cat := buildWorld()
+	q := buildQuery()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(q, cat, WithSeed(int64(i)), WithIterations(100)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

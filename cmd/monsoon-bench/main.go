@@ -1,0 +1,84 @@
+// Command monsoon-bench regenerates the paper's evaluation: every table
+// (1–8) and figure (2–3) of §6, at a configurable scale.
+//
+// Usage:
+//
+//	monsoon-bench [-scale tiny|small|medium] [-exp all|table1|table2|...|figure3] [-seed N] [-v]
+//
+// Output goes to stdout; progress (with -v) to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"monsoon/internal/harness"
+)
+
+func main() {
+	scaleName := flag.String("scale", "small", "campaign scale: tiny, small, or medium")
+	exp := flag.String("exp", "all", "experiment: all, table1..table8, figure1..figure3, ablation, estimates")
+	seed := flag.Int64("seed", 1, "master seed")
+	verbose := flag.Bool("v", false, "print per-query progress to stderr")
+	flag.Parse()
+
+	var sc harness.Scale
+	switch *scaleName {
+	case "tiny":
+		sc = harness.Tiny()
+	case "small":
+		sc = harness.Small()
+	case "medium":
+		sc = harness.Medium()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	sc.Seed = *seed
+
+	var progress io.Writer
+	if *verbose {
+		progress = os.Stderr
+	}
+	r := &harness.Runner{Scale: sc, Progress: progress}
+	w := os.Stdout
+
+	type step struct {
+		name string
+		run  func() error
+	}
+	steps := []step{
+		{"table1", func() error { harness.Table1(w); return nil }},
+		{"figure1", func() error { return harness.Figure1(w, sc.Seed) }},
+		{"figure2", func() error { harness.Figure2(w); return nil }},
+		{"table2", func() error { return r.Table2(w) }},
+		{"table3", func() error { return r.Table3(w) }},
+		{"table4", func() error { return r.Table4(w) }},
+		{"table5", func() error { return r.Table5(w) }},
+		{"table6", func() error { return r.Table6(w) }},
+		{"table7", func() error { return r.Table7(w) }},
+		{"figure3", func() error { return r.Figure3(w) }},
+		{"table8", func() error { return r.Table8(w) }},
+		{"ablation", func() error { return r.Ablation(w) }},
+		{"estimates", func() error { return r.Estimates(w) }},
+	}
+	ran := false
+	for _, s := range steps {
+		if *exp != "all" && *exp != s.name {
+			continue
+		}
+		ran = true
+		fmt.Fprintf(w, "==== %s (scale %s) ====\n", s.name, sc.Name)
+		if err := s.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", s.name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(w)
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

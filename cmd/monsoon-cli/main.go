@@ -1,0 +1,223 @@
+// Command monsoon-cli runs one benchmark query under one optimization option
+// and prints what happened — including, for Monsoon, the full trace of MDP
+// actions (plan edits, Σ statistics collections, EXECUTE rounds).
+//
+// Usage:
+//
+//	monsoon-cli -bench tpch|imdb|ott|udf [-query NAME] [-opt monsoon|postgres|defaults|greedy|ondemand|sampling|skinner] [-prior NAME] [-scale tiny|small|medium] [-seed N]
+//
+// Without -query, the available query names for the benchmark are listed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"monsoon/internal/bench/imdb"
+	"monsoon/internal/bench/ott"
+	"monsoon/internal/bench/tpch"
+	"monsoon/internal/bench/udf"
+	"monsoon/internal/core"
+	"monsoon/internal/cost"
+	"monsoon/internal/engine"
+	"monsoon/internal/harness"
+	"monsoon/internal/opt"
+	"monsoon/internal/plan"
+	"monsoon/internal/prior"
+	"monsoon/internal/stats"
+)
+
+func main() {
+	benchName := flag.String("bench", "tpch", "benchmark: tpch, imdb, ott, or udf")
+	queryName := flag.String("query", "", "query name (empty lists the options)")
+	optName := flag.String("opt", "monsoon", "optimizer option: monsoon, postgres, defaults, greedy, ondemand, sampling, skinner, lec, handwritten (ott only)")
+	priorName := flag.String("prior", "Spike and Slab", "Monsoon prior (Table 2 names)")
+	scaleName := flag.String("scale", "tiny", "data scale: tiny, small, or medium")
+	seed := flag.Int64("seed", 1, "seed")
+	explain := flag.Bool("explain", false, "print the chosen plan with estimates and actuals (postgres, defaults, greedy)")
+	flag.Parse()
+
+	var sc harness.Scale
+	switch *scaleName {
+	case "tiny":
+		sc = harness.Tiny()
+	case "small":
+		sc = harness.Small()
+	case "medium":
+		sc = harness.Medium()
+	default:
+		fail("unknown scale %q", *scaleName)
+	}
+	sc.Seed = *seed
+
+	specs := loadSpecs(*benchName, sc)
+	if *queryName == "" {
+		fmt.Printf("queries in %s:\n", *benchName)
+		for _, s := range specs {
+			fmt.Printf("  %s (%d tables, %d join preds)\n", s.Q.Name, s.Q.Aliases().Size(), len(s.Q.Joins))
+		}
+		return
+	}
+	var spec *harness.QuerySpec
+	for i := range specs {
+		if specs[i].Q.Name == *queryName {
+			spec = &specs[i]
+		}
+	}
+	if spec == nil {
+		fail("query %q not in benchmark %s", *queryName, *benchName)
+	}
+
+	if *optName == "monsoon" {
+		runMonsoonTraced(*spec, sc, *priorName)
+		return
+	}
+	if *explain {
+		runExplained(*spec, sc, *optName)
+		return
+	}
+	o := pickOption(*optName, sc)
+	out := o.Run(*spec, sc.Timeout, sc.MaxTuples, sc.Seed)
+	report(o.Name(), out)
+}
+
+func loadSpecs(bench string, sc harness.Scale) []harness.QuerySpec {
+	switch bench {
+	case "tpch":
+		cat := tpch.Generate(tpch.Config{ScaleFactor: sc.TPCHSF, Seed: sc.Seed})
+		var out []harness.QuerySpec
+		for _, q := range tpch.Queries() {
+			out = append(out, harness.QuerySpec{Q: q, Cat: cat})
+		}
+		return out
+	case "imdb":
+		cat := imdb.Generate(imdb.Config{Titles: sc.IMDBTitles, Bootstrap: sc.IMDBBootstrap, Seed: sc.Seed})
+		var out []harness.QuerySpec
+		for _, q := range imdb.Queries(sc.IMDBQueryCount, sc.Seed) {
+			out = append(out, harness.QuerySpec{Q: q, Cat: cat})
+		}
+		return out
+	case "ott":
+		cat := ott.Generate(ott.Config{ScaleFactor: sc.OTTSF, Seed: sc.Seed})
+		var out []harness.QuerySpec
+		for _, c := range ott.Queries() {
+			out = append(out, harness.QuerySpec{Q: c.Query, Cat: cat, Hand: c.Best})
+		}
+		return out
+	case "udf":
+		suite := udf.Generate(udf.Config{Titles: sc.UDFTitles, ScaleFactor: sc.UDFSF, Seed: sc.Seed})
+		var out []harness.QuerySpec
+		for _, qc := range suite.All() {
+			out = append(out, harness.QuerySpec{Q: qc.Query, Cat: qc.Cat})
+		}
+		return out
+	default:
+		fail("unknown benchmark %q", bench)
+		return nil
+	}
+}
+
+func pickOption(name string, sc harness.Scale) harness.Option {
+	switch name {
+	case "postgres":
+		return harness.Postgres{}
+	case "defaults":
+		return harness.Defaults{}
+	case "greedy":
+		return harness.Greedy{}
+	case "ondemand":
+		return harness.OnDemand{}
+	case "sampling":
+		return harness.Sampling{}
+	case "skinner":
+		return harness.Skinner{}
+	case "lec":
+		return harness.LEC{}
+	case "handwritten":
+		return harness.HandWritten{}
+	default:
+		fail("unknown option %q", name)
+		return nil
+	}
+}
+
+func runMonsoonTraced(spec harness.QuerySpec, sc harness.Scale, priorName string) {
+	p := prior.ByName(priorName)
+	if p == nil {
+		fail("unknown prior %q (Table 2 names, e.g. \"Spike and Slab\")", priorName)
+	}
+	eng := engine.New(spec.Cat)
+	budget := &engine.Budget{MaxTuples: sc.MaxTuples, Deadline: time.Now().Add(sc.Timeout)}
+	fmt.Printf("Monsoon on %s (prior %s, %d MCTS iterations)\n", spec.Q.Name, p.Name(), sc.MCTSIterations)
+	start := time.Now()
+	res, err := core.Run(spec.Q, eng, budget, core.Config{
+		Prior:      p,
+		Iterations: sc.MCTSIterations,
+		Seed:       sc.Seed,
+		Trace:      func(s string) { fmt.Println("  " + s) },
+	})
+	if err != nil {
+		fail("run failed after %v: %v", time.Since(start), err)
+	}
+	fmt.Printf("done in %v: %d rows (aggregate %.6g)\n", time.Since(start), res.Rows, res.Value)
+	fmt.Printf("rounds: %d EXECUTEs, %d actions, %d Σ operators\n", res.Executes, res.Actions, res.SigmaOps)
+	fmt.Printf("breakdown: MCTS %v, Σ %v, execution %v; %.0f objects produced\n",
+		res.PlanTime, res.SigmaTime, res.ExecTime, res.Produced)
+}
+
+func report(name string, out harness.Outcome) {
+	if out.Err != nil {
+		fail("%s failed: %v", name, out.Err)
+	}
+	if out.TimedOut {
+		fmt.Printf("%s: TIMEOUT after %v (%.0f objects produced)\n", name, out.Time, out.Produced)
+		return
+	}
+	fmt.Printf("%s: %d rows (aggregate %.6g) in %v; %.0f objects produced\n",
+		name, out.Rows, out.Value, out.Time, out.Produced)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+// runExplained plans with the named classical option, prints the EXPLAIN
+// tree (estimates first, then actuals after execution), and reports the run.
+func runExplained(spec harness.QuerySpec, sc harness.Scale, optName string) {
+	eng := engine.New(spec.Cat)
+	var st *stats.Store
+	switch optName {
+	case "postgres":
+		st = opt.CollectFullStats(spec.Q, spec.Cat)
+	case "defaults", "greedy":
+		st = stats.New()
+		eng.SeedBaseStats(spec.Q, st)
+	default:
+		fail("-explain supports postgres, defaults, and greedy (got %q)", optName)
+	}
+	dv := &cost.Deriver{Q: spec.Q, St: st, Miss: cost.DefaultMiss(0.1)}
+	var tree *plan.Node
+	var err error
+	if optName == "greedy" {
+		tree, err = opt.GreedyPlan(spec.Q, st)
+	} else {
+		tree, err = opt.BestPlan(spec.Q, dv)
+	}
+	if err != nil {
+		fail("planning failed: %v", err)
+	}
+	budget := &engine.Budget{MaxTuples: sc.MaxTuples, Deadline: time.Now().Add(sc.Timeout)}
+	rel, er, execErr := eng.ExecTree(spec.Q, tree, budget)
+	fmt.Printf("%s plan for %s:\n%s", optName, spec.Q.Name, cost.Explain(dv, tree, er.Counts))
+	if execErr != nil {
+		fail("execution aborted: %v", execErr)
+	}
+	v, err := engine.FinalAggregate(spec.Q, rel)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("result: %d rows (aggregate %.6g); %.0f objects produced\n", rel.Count(), v, er.Produced)
+}

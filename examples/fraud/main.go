@@ -1,0 +1,113 @@
+// Fraud detection — the running example of §2 of the paper. Find pairs of
+// identical orders placed on one date by different customers who logged on
+// from the same city:
+//
+//	SELECT c1.name, c2.name
+//	FROM order o1, order o2, sess s1, sess s2
+//	WHERE Intersection(o1.items, o2.items) = Union(o1.items, o2.items)
+//	  AND ExtractDate(o1.when) = '2019-01-11'
+//	  AND ExtractDate(o2.when) = '2019-01-11'
+//	  AND o1.cID = s1.cID AND o2.cID = s2.cID AND o1.cID <> o2.cID
+//	  AND City(s1.ipAdd) = City(s2.ipAdd)
+//
+// Every predicate is an opaque UDF. The set-equality trick is faithful:
+// Intersection(a,b) = Union(a,b) holds exactly when the item sets are equal,
+// which the engine evaluates by joining on a canonical set key. The one
+// non-equality predicate (o1.cID <> o2.cID) is outside the optimizer's
+// equality grammar (§3.1) and is applied as a post-filter below.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"monsoon"
+)
+
+func main() {
+	cat := monsoon.NewCatalog()
+	rng := newLCG(2024)
+
+	// orders(cID, when, items): 4,000 orders from 600 customers; item sets
+	// are drawn from a small pool so identical baskets genuinely recur.
+	orders := monsoon.NewTable("order",
+		monsoon.Col("cID", monsoon.KindInt),
+		monsoon.Col("when", monsoon.KindString),
+		monsoon.Col("items", monsoon.KindIntList),
+	)
+	for i := 0; i < 4000; i++ {
+		n := 1 + rng.next()%3
+		items := make([]int64, n)
+		for j := range items {
+			items[j] = int64(rng.next() % 40)
+		}
+		orders.Add(
+			monsoon.Int(int64(rng.next()%600)),
+			monsoon.Str(fmt.Sprintf("2019-01-%02d %02d:%02d:00", 10+rng.next()%4, rng.next()%24, rng.next()%60)),
+			monsoon.IntList(items),
+		)
+	}
+	cat.Put(orders.Build())
+
+	// sess(cID, ipAdd): 2,000 sessions; the first two IP octets encode the
+	// city, and customers are clustered into 30 cities.
+	sess := monsoon.NewTable("sess",
+		monsoon.Col("cID", monsoon.KindInt),
+		monsoon.Col("ipAdd", monsoon.KindString),
+	)
+	for i := 0; i < 2000; i++ {
+		c := rng.next() % 600
+		city := c % 30
+		sess.Add(
+			monsoon.Int(int64(c)),
+			monsoon.Str(fmt.Sprintf("10.%d.%d.%d", city, rng.next()%256, rng.next()%256)),
+		)
+	}
+	cat.Put(sess.Build())
+
+	q := monsoon.NewQuery("fraud").
+		Rel("o1", "order").Rel("o2", "order").
+		Rel("s1", "sess").Rel("s2", "sess").
+		Join(monsoon.SetEqualsKey("o1.items"), monsoon.SetEqualsKey("o2.items")).
+		Join(monsoon.Identity("o1.cID"), monsoon.Identity("s1.cID")).
+		Join(monsoon.Identity("o2.cID"), monsoon.Identity("s2.cID")).
+		Join(monsoon.City("s1.ipAdd"), monsoon.City("s2.ipAdd")).
+		Select(monsoon.ExtractDate("o1.when"), monsoon.Str("2019-01-11")).
+		Select(monsoon.ExtractDate("o2.when"), monsoon.Str("2019-01-11")).
+		MustBuild()
+
+	rep, err := monsoon.Run(q, cat,
+		monsoon.WithSeed(11),
+		monsoon.WithIterations(400),
+		monsoon.WithMaxTuples(5e7),
+		monsoon.WithTrace(func(s string) { fmt.Println("  [optimizer] " + s) }),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Post-filter: o1.cID <> o2.cID (outside the equality grammar).
+	c1 := rep.Output.Schema.MustLookup("o1.cID")
+	c2 := rep.Output.Schema.MustLookup("o2.cID")
+	suspicious := 0
+	for _, row := range rep.Output.Rows {
+		if !row[c1].Equal(row[c2]) {
+			suspicious++
+		}
+	}
+	fmt.Printf("candidate pairs from the engine: %d; suspicious (distinct customers): %d\n",
+		rep.Output.Count(), suspicious)
+	fmt.Printf("optimizer: %d EXECUTE rounds, %d Σ collections, %.0f objects produced\n",
+		rep.Executes, rep.SigmaOps, rep.Produced)
+}
+
+// lcg is a tiny deterministic generator so the example needs no imports
+// beyond the public API.
+type lcg struct{ s uint64 }
+
+func newLCG(seed uint64) *lcg { return &lcg{s: seed} }
+
+func (l *lcg) next() int {
+	l.s = l.s*6364136223846793005 + 1442695040888963407
+	return int(l.s >> 33)
+}

@@ -1,0 +1,64 @@
+// Quickstart: build two tables, join them through opaque UDFs, and let the
+// Monsoon optimizer decide — via its MDP and Monte-Carlo tree search —
+// whether to collect statistics first or execute a guessed plan.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"monsoon"
+)
+
+func main() {
+	cat := monsoon.NewCatalog()
+
+	// events(user_id, when): 20,000 rows, timestamps over a few days.
+	events := monsoon.NewTable("events",
+		monsoon.Col("user_id", monsoon.KindInt),
+		monsoon.Col("when", monsoon.KindString),
+	)
+	for i := 0; i < 20000; i++ {
+		events.Add(
+			monsoon.Int(int64(i%1000)),
+			monsoon.Str(fmt.Sprintf("2019-01-%02d %02d:00:00", 10+i%3, i%24)),
+		)
+	}
+	cat.Put(events.Build())
+
+	// users(id, city_ip): 1,000 rows.
+	users := monsoon.NewTable("users",
+		monsoon.Col("id", monsoon.KindInt),
+		monsoon.Col("city_ip", monsoon.KindString),
+	)
+	for i := 0; i < 1000; i++ {
+		users.Add(
+			monsoon.Int(int64(i)),
+			monsoon.Str(fmt.Sprintf("10.%d.0.%d", i%50, i%200)),
+		)
+	}
+	cat.Put(users.Build())
+
+	// Who generated events on 2019-01-11, by user? Both predicates go
+	// through UDFs, so the optimizer has no statistics for them until it
+	// chooses to measure.
+	q := monsoon.NewQuery("quickstart").
+		Rel("e", "events").Rel("u", "users").
+		Join(monsoon.Identity("e.user_id"), monsoon.Identity("u.id")).
+		Select(monsoon.ExtractDate("e.when"), monsoon.Str("2019-01-11")).
+		MustBuild()
+
+	rep, err := monsoon.Run(q, cat,
+		monsoon.WithSeed(7),
+		monsoon.WithIterations(300),
+		monsoon.WithTrace(func(s string) { fmt.Println("  [optimizer] " + s) }),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("result: %d rows\n", rep.Rows)
+	fmt.Printf("multi-step rounds: %d EXECUTEs, %d Σ statistics collections\n",
+		rep.Executes, rep.SigmaOps)
+	fmt.Printf("cost paid: %.0f objects produced (MCTS %v, Σ %v, execution %v)\n",
+		rep.Produced, rep.PlanTime, rep.SigmaTime, rep.ExecTime)
+}

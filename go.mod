@@ -1,0 +1,3 @@
+module monsoon
+
+go 1.22

@@ -1,0 +1,228 @@
+// Package imdb generates a synthetic IMDB-shaped database and a
+// Join-Order-Benchmark-like query suite. The real JOB's value is that IMDB
+// data is full of correlations and heavy skew that break uniformity-based
+// cardinality estimation; this generator plants the same pathologies: Zipfian
+// fan-out (few movies carry most cast entries), correlated columns (a
+// title's kind biases its companies, info types, and production year), and
+// highly selective dictionary filters. The paper scales IMDB 5× by bootstrap
+// resampling; Config.Bootstrap reproduces that.
+package imdb
+
+import (
+	"fmt"
+
+	"monsoon/internal/randx"
+	"monsoon/internal/table"
+	"monsoon/internal/value"
+)
+
+// Config parameterizes generation.
+type Config struct {
+	// Titles is the number of movies; every other table scales from it.
+	// The paper's database has ~2.5M titles; the in-memory experiments run
+	// with 2k–20k.
+	Titles int
+	// Bootstrap, when >1, resamples every table to Bootstrap× its size with
+	// replacement (the paper's 5× methodology).
+	Bootstrap int
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+var (
+	kinds        = []string{"movie", "tv series", "video", "episode"}
+	genders      = []string{"m", "f"}
+	countries    = []string{"[us]", "[gb]", "[de]", "[fr]", "[jp]", "[in]", "[it]", "[ca]"}
+	companyKinds = []string{"production companies", "distributors", "special effects", "misc"}
+	infoTypes    = []string{"budget", "genres", "rating", "runtime", "votes", "release dates", "languages", "color info"}
+	genres       = []string{"Drama", "Comedy", "Action", "Thriller", "Horror", "Documentary", "Romance", "Sci-Fi"}
+	keywordPool  = []string{"murder", "love", "revenge", "space", "war", "family", "robot", "heist",
+		"vampire", "sequel", "based-on-novel", "superhero", "zombie", "time-travel", "noir", "sports"}
+)
+
+func col(t, n string, k value.Kind) table.Column { return table.Column{Table: t, Name: n, Kind: k} }
+
+// Generate builds the ten-table proxy schema.
+func Generate(cfg Config) *table.Catalog {
+	if cfg.Titles <= 0 {
+		cfg.Titles = 2000
+	}
+	rng := randx.New(randx.Derive(cfg.Seed, "imdb"))
+	cat := table.NewCatalog()
+	nTitles := cfg.Titles
+	nNames := nTitles * 2
+	nCompanies := maxInt(20, nTitles/10)
+	nKeywords := len(keywordPool)
+
+	// kind_type-ish enum is inlined into title.kind_id (1..4).
+	// info_type dictionary.
+	itb := table.NewBuilder("info_type", table.NewSchema(
+		col("info_type", "id", value.KindInt),
+		col("info_type", "info", value.KindString),
+	))
+	for i, s := range infoTypes {
+		itb.Add(value.Int(int64(i+1)), value.String(s))
+	}
+	cat.Put(itb.Build())
+
+	ctb := table.NewBuilder("company_type", table.NewSchema(
+		col("company_type", "id", value.KindInt),
+		col("company_type", "kind", value.KindString),
+	))
+	for i, s := range companyKinds {
+		ctb.Add(value.Int(int64(i+1)), value.String(s))
+	}
+	cat.Put(ctb.Build())
+
+	kwb := table.NewBuilder("keyword", table.NewSchema(
+		col("keyword", "id", value.KindInt),
+		col("keyword", "keyword", value.KindString),
+	))
+	for i, s := range keywordPool {
+		kwb.Add(value.Int(int64(i+1)), value.String(s))
+	}
+	cat.Put(kwb.Build())
+
+	// title: kind and year are correlated (episodes cluster in recent years,
+	// movies spread out); kind is heavily skewed toward "movie".
+	kindZipf := randx.NewZipf(int64(len(kinds)), 1.5)
+	// The note column embeds the title key in free text, for the UDF
+	// benchmark's extract-and-join queries (§1's docNameAndText pattern).
+	tb := table.NewBuilder("title", table.NewSchema(
+		col("title", "id", value.KindInt),
+		col("title", "title", value.KindString),
+		col("title", "kind_id", value.KindInt),
+		col("title", "production_year", value.KindInt),
+		col("title", "note", value.KindString),
+	))
+	titleKind := make([]int64, nTitles+1)
+	for i := 1; i <= nTitles; i++ {
+		kind := kindZipf.Draw(rng)
+		titleKind[i] = kind
+		var year int64
+		if kind == 4 { // episodes: recent, tight range
+			year = 2005 + rng.Int63n(15)
+		} else {
+			year = 1930 + rng.Int63n(90)
+		}
+		tb.Add(value.Int(int64(i)),
+			value.String(fmt.Sprintf("T%06d", i)),
+			value.Int(kind),
+			value.Int(year),
+			value.String(fmt.Sprintf(`<doc id="T%06d" url="http://movies/%d" year="%d"/>`, i, i, year)))
+	}
+	cat.Put(tb.Build())
+
+	// name.
+	nb := table.NewBuilder("name", table.NewSchema(
+		col("name", "id", value.KindInt),
+		col("name", "name", value.KindString),
+		col("name", "gender", value.KindString),
+	))
+	for i := 1; i <= nNames; i++ {
+		nb.Add(value.Int(int64(i)),
+			value.String(fmt.Sprintf("Name %05d", i)),
+			value.String(genders[rng.Intn(2)]))
+	}
+	cat.Put(nb.Build())
+
+	// company_name: country skewed toward [us].
+	countryZipf := randx.NewZipf(int64(len(countries)), 1.2)
+	cnb := table.NewBuilder("company_name", table.NewSchema(
+		col("company_name", "id", value.KindInt),
+		col("company_name", "name", value.KindString),
+		col("company_name", "country_code", value.KindString),
+	))
+	for i := 1; i <= nCompanies; i++ {
+		cnb.Add(value.Int(int64(i)),
+			value.String(fmt.Sprintf("Company %04d", i)),
+			value.String(countries[countryZipf.Draw(rng)-1]))
+	}
+	cat.Put(cnb.Build())
+
+	// cast_info: Zipf fan-out — hot titles accumulate most cast rows.
+	hotTitle := randx.NewZipf(int64(nTitles), 0.75)
+	hotName := randx.NewZipf(int64(nNames), 0.6)
+	cib := table.NewBuilder("cast_info", table.NewSchema(
+		col("cast_info", "movie_id", value.KindInt),
+		col("cast_info", "person_id", value.KindInt),
+		col("cast_info", "role_id", value.KindInt),
+	))
+	for i := 0; i < nTitles*4; i++ {
+		cib.Add(value.Int(hotTitle.Draw(rng)),
+			value.Int(hotName.Draw(rng)),
+			value.Int(1+rng.Int63n(10)))
+	}
+	cat.Put(cib.Build())
+
+	// movie_companies: company type correlated with title kind — episodes
+	// are almost always "distributors".
+	mcb := table.NewBuilder("movie_companies", table.NewSchema(
+		col("movie_companies", "movie_id", value.KindInt),
+		col("movie_companies", "company_id", value.KindInt),
+		col("movie_companies", "company_type_id", value.KindInt),
+	))
+	hotCompany := randx.NewZipf(int64(nCompanies), 1.0)
+	for i := 0; i < nTitles*2; i++ {
+		mid := hotTitle.Draw(rng)
+		ctID := int64(1 + rng.Intn(len(companyKinds)))
+		if titleKind[mid] == 4 && rng.Float64() < 0.9 {
+			ctID = 2 // distributors
+		}
+		mcb.Add(value.Int(mid), value.Int(hotCompany.Draw(rng)), value.Int(ctID))
+	}
+	cat.Put(mcb.Build())
+
+	// movie_info: info type correlated with kind (episodes rarely carry
+	// budgets); the info payload for "genres" is a skewed genre dictionary.
+	genreZipf := randx.NewZipf(int64(len(genres)), 1.1)
+	mib := table.NewBuilder("movie_info", table.NewSchema(
+		col("movie_info", "movie_id", value.KindInt),
+		col("movie_info", "info_type_id", value.KindInt),
+		col("movie_info", "info", value.KindString),
+	))
+	for i := 0; i < nTitles*3; i++ {
+		mid := hotTitle.Draw(rng)
+		it := int64(1 + rng.Intn(len(infoTypes)))
+		if titleKind[mid] == 4 && it == 1 && rng.Float64() < 0.95 {
+			it = 3 // episodes get ratings, not budgets
+		}
+		var info string
+		switch it {
+		case 2:
+			info = genres[genreZipf.Draw(rng)-1]
+		case 3:
+			info = fmt.Sprintf("%.1f", 1+rng.Float64()*9)
+		default:
+			info = fmt.Sprintf("v%d", rng.Intn(1000))
+		}
+		mib.Add(value.Int(mid), value.Int(it), value.String(info))
+	}
+	cat.Put(mib.Build())
+
+	// movie_keyword.
+	mkb := table.NewBuilder("movie_keyword", table.NewSchema(
+		col("movie_keyword", "movie_id", value.KindInt),
+		col("movie_keyword", "keyword_id", value.KindInt),
+	))
+	kwZipf := randx.NewZipf(int64(nKeywords), 1.0)
+	for i := 0; i < nTitles*2; i++ {
+		mkb.Add(value.Int(hotTitle.Draw(rng)), value.Int(kwZipf.Draw(rng)))
+	}
+	cat.Put(mkb.Build())
+
+	if cfg.Bootstrap > 1 {
+		brng := randx.New(randx.Derive(cfg.Seed, "bootstrap"))
+		for _, name := range cat.Names() {
+			cat.Put(cat.MustGet(name).Bootstrap(cfg.Bootstrap, brng))
+		}
+	}
+	return cat
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

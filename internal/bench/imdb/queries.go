@@ -1,0 +1,141 @@
+package imdb
+
+import (
+	"fmt"
+
+	"monsoon/internal/expr"
+	"monsoon/internal/query"
+	"monsoon/internal/randx"
+	"monsoon/internal/value"
+)
+
+// branch describes one satellite of the star-shaped IMDB schema: the fact
+// table joining title, and optionally its dictionary table with a selective
+// filter.
+type branch struct {
+	alias, tbl      string // fact table joining title.id on fkCol
+	fkCol           string
+	dictAlias, dict string // dictionary table (may be empty)
+	dictFK, dictPK  string
+	dictFilters     []filter
+	factFilters     []filter
+}
+
+type filter struct {
+	col string
+	val value.Value
+}
+
+func branches() []branch {
+	return []branch{
+		{
+			alias: "ci", tbl: "cast_info", fkCol: "movie_id",
+			dictAlias: "na", dict: "name", dictFK: "person_id", dictPK: "id",
+			dictFilters: []filter{{"gender", value.String("f")}, {"gender", value.String("m")}},
+			factFilters: []filter{{"role_id", value.Int(1)}, {"role_id", value.Int(2)}},
+		},
+		{
+			alias: "mc", tbl: "movie_companies", fkCol: "movie_id",
+			dictAlias: "cn", dict: "company_name", dictFK: "company_id", dictPK: "id",
+			dictFilters: []filter{
+				{"country_code", value.String("[de]")},
+				{"country_code", value.String("[us]")},
+				{"country_code", value.String("[jp]")},
+			},
+		},
+		{
+			alias: "mc2", tbl: "movie_companies", fkCol: "movie_id",
+			dictAlias: "ct", dict: "company_type", dictFK: "company_type_id", dictPK: "id",
+			dictFilters: []filter{
+				{"kind", value.String("production companies")},
+				{"kind", value.String("distributors")},
+			},
+		},
+		{
+			alias: "mi", tbl: "movie_info", fkCol: "movie_id",
+			dictAlias: "it", dict: "info_type", dictFK: "info_type_id", dictPK: "id",
+			dictFilters: []filter{
+				{"info", value.String("budget")},
+				{"info", value.String("genres")},
+				{"info", value.String("rating")},
+			},
+			factFilters: []filter{{"info", value.String("Drama")}, {"info", value.String("Horror")}},
+		},
+		{
+			alias: "mk", tbl: "movie_keyword", fkCol: "movie_id",
+			dictAlias: "kw", dict: "keyword", dictFK: "keyword_id", dictPK: "id",
+			dictFilters: []filter{
+				{"keyword", value.String("murder")},
+				{"keyword", value.String("sequel")},
+				{"keyword", value.String("time-travel")},
+			},
+		},
+	}
+}
+
+// Queries generates n JOB-like queries deterministically from the seed: each
+// is a connected star around title with 1–4 branches, optional dictionary
+// hops, and selective filters drawn from the dictionaries above — the same
+// shape (3–8 tables, chain+star mix, correlated filters) as the real Join
+// Order Benchmark suite.
+func Queries(n int, seed int64) []*query.Query {
+	rng := randx.New(randx.Derive(seed, "imdb-queries"))
+	id := expr.Identity
+	var out []*query.Query
+	for qi := 0; qi < n; qi++ {
+		bs := branches()
+		// Choose 1–4 distinct branches.
+		order := rng.Perm(len(bs))
+		k := 1 + rng.Intn(3)
+		if k > len(order) {
+			k = len(order)
+		}
+		b := query.NewBuilder(fmt.Sprintf("imdb-q%02d", qi+1))
+		b.Rel("t", "title")
+		tables := 1
+		filters := 0
+		for _, bi := range order[:k] {
+			br := bs[bi]
+			b.Rel(br.alias, br.tbl)
+			b.Join(id("t.id"), id(br.alias+"."+br.fkCol))
+			tables++
+			// Fact-side filter sometimes.
+			if len(br.factFilters) > 0 && rng.Float64() < 0.4 {
+				f := br.factFilters[rng.Intn(len(br.factFilters))]
+				b.Select(id(br.alias+"."+f.col), f.val)
+				filters++
+			}
+			// Dictionary hop with filter most of the time.
+			if br.dict != "" && rng.Float64() < 0.75 {
+				b.Rel(br.dictAlias, br.dict)
+				b.Join(id(br.alias+"."+br.dictFK), id(br.dictAlias+"."+br.dictPK))
+				tables++
+				if len(br.dictFilters) > 0 {
+					f := br.dictFilters[rng.Intn(len(br.dictFilters))]
+					b.Select(id(br.dictAlias+"."+f.col), f.val)
+					filters++
+				}
+			}
+		}
+		// Title-side filters.
+		if rng.Float64() < 0.5 {
+			b.Select(id("t.kind_id"), value.Int(int64(1+rng.Intn(4))))
+			filters++
+		}
+		if rng.Float64() < 0.3 {
+			b.Select(id("t.production_year"), value.Int(int64(1990+rng.Intn(30))))
+			filters++
+		}
+		q, err := b.Build()
+		if err != nil {
+			panic(err) // generator bug
+		}
+		if q.Aliases().Size() < 3 {
+			// Too small for a join-ordering benchmark; retry deterministic.
+			qi--
+			continue
+		}
+		out = append(out, q)
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+// Package tpch generates TPC-H-shaped data at any scale factor, with the
+// Zipfian skew knob of the Microsoft skewed-TPC-H generator the paper uses
+// for Table 2 ("low" z=1, "high" z=4, "mixed" = per-column z drawn uniformly
+// from [0,4]), and defines the benchmark's ≥3-table join-ordering queries.
+// Only the columns the queries touch are generated, keeping the in-memory
+// footprint proportional to what the experiments exercise.
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"monsoon/internal/randx"
+	"monsoon/internal/table"
+	"monsoon/internal/value"
+)
+
+// Config parameterizes generation.
+type Config struct {
+	// ScaleFactor scales the standard row counts (1.0 = 6M lineitem). The
+	// in-memory experiments run at 0.002–0.05.
+	ScaleFactor float64
+	// Skew is the Zipf exponent applied to foreign keys and value columns;
+	// 0 disables skew.
+	Skew float64
+	// MixedSkew draws an independent z ∈ [0,4] per column, overriding Skew.
+	MixedSkew bool
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+var (
+	regions  = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	segments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	prios    = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	flags    = []string{"R", "A", "N"}
+	types    = []string{"STANDARD ANODIZED TIN", "SMALL PLATED COPPER", "MEDIUM BURNISHED NICKEL",
+		"LARGE BRUSHED STEEL", "ECONOMY POLISHED BRASS", "PROMO ANODIZED STEEL"}
+	nations = []string{"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+		"FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN",
+		"KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA",
+		"VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"}
+)
+
+// picker draws keys in [1, n], uniform or Zipf depending on the column's z.
+type picker struct {
+	z    *randx.Zipf
+	n    int64
+	perm []int64 // shuffles which keys are hot so skew is not always key 1
+}
+
+func newPicker(n int64, z float64, rng *rand.Rand) *picker {
+	p := &picker{n: n}
+	if z > 0 && n > 1 {
+		p.z = randx.NewZipf(n, z)
+		p.perm = make([]int64, n)
+		for i, j := range rng.Perm(int(n)) {
+			p.perm[i] = int64(j) + 1
+		}
+	}
+	return p
+}
+
+func (p *picker) draw(rng *rand.Rand) int64 {
+	if p.z == nil {
+		return randx.UniformInt(rng, p.n)
+	}
+	return p.perm[p.z.Draw(rng)-1]
+}
+
+// columnZ resolves the skew exponent for one column under the config.
+func (c Config) columnZ(rng *rand.Rand) float64 {
+	if c.MixedSkew {
+		return rng.Float64() * 4
+	}
+	return c.Skew
+}
+
+func dateString(day int) string {
+	year := 1992 + day/365
+	rem := day % 365
+	month := rem/31 + 1
+	dom := rem%31 + 1
+	return fmt.Sprintf("%04d-%02d-%02d %02d:00:00", year, month, dom, day%24)
+}
+
+func col(t, n string, k value.Kind) table.Column { return table.Column{Table: t, Name: n, Kind: k} }
+
+// Generate builds the eight TPC-H tables.
+func Generate(cfg Config) *table.Catalog {
+	if cfg.ScaleFactor <= 0 {
+		cfg.ScaleFactor = 0.01
+	}
+	rng := randx.New(randx.Derive(cfg.Seed, "tpch"))
+	cat := table.NewCatalog()
+	sf := cfg.ScaleFactor
+	nSupp := maxInt(10, int(10000*sf))
+	nCust := maxInt(30, int(150000*sf))
+	nPart := maxInt(40, int(200000*sf))
+	nPartsupp := nPart * 4
+	nOrders := maxInt(50, int(1500000*sf))
+
+	// region
+	rb := table.NewBuilder("region", table.NewSchema(
+		col("region", "r_regionkey", value.KindInt),
+		col("region", "r_name", value.KindString),
+	))
+	for i, name := range regions {
+		rb.Add(value.Int(int64(i)), value.String(name))
+	}
+	cat.Put(rb.Build())
+
+	// nation
+	nb := table.NewBuilder("nation", table.NewSchema(
+		col("nation", "n_nationkey", value.KindInt),
+		col("nation", "n_name", value.KindString),
+		col("nation", "n_regionkey", value.KindInt),
+	))
+	for i, name := range nations {
+		nb.Add(value.Int(int64(i)), value.String(name), value.Int(int64(i%5)))
+	}
+	cat.Put(nb.Build())
+
+	// supplier
+	suppNation := newPicker(25, cfg.columnZ(rng), rng)
+	sb := table.NewBuilder("supplier", table.NewSchema(
+		col("supplier", "s_suppkey", value.KindInt),
+		col("supplier", "s_nationkey", value.KindInt),
+	))
+	for i := 1; i <= nSupp; i++ {
+		sb.Add(value.Int(int64(i)), value.Int(suppNation.draw(rng)-1))
+	}
+	cat.Put(sb.Build())
+
+	// customer
+	custNation := newPicker(25, cfg.columnZ(rng), rng)
+	custSeg := newPicker(int64(len(segments)), cfg.columnZ(rng), rng)
+	cb := table.NewBuilder("customer", table.NewSchema(
+		col("customer", "c_custkey", value.KindInt),
+		col("customer", "c_nationkey", value.KindInt),
+		col("customer", "c_mktsegment", value.KindString),
+	))
+	for i := 1; i <= nCust; i++ {
+		cb.Add(value.Int(int64(i)),
+			value.Int(custNation.draw(rng)-1),
+			value.String(segments[custSeg.draw(rng)-1]))
+	}
+	cat.Put(cb.Build())
+
+	// part
+	partSize := newPicker(50, cfg.columnZ(rng), rng)
+	partBrand := newPicker(45, cfg.columnZ(rng), rng)
+	partType := newPicker(int64(len(types)), cfg.columnZ(rng), rng)
+	pb := table.NewBuilder("part", table.NewSchema(
+		col("part", "p_partkey", value.KindInt),
+		col("part", "p_size", value.KindInt),
+		col("part", "p_brand", value.KindString),
+		col("part", "p_type", value.KindString),
+	))
+	for i := 1; i <= nPart; i++ {
+		pb.Add(value.Int(int64(i)),
+			value.Int(partSize.draw(rng)),
+			value.String(fmt.Sprintf("Brand#%d", 10+partBrand.draw(rng))),
+			value.String(types[partType.draw(rng)-1]))
+	}
+	cat.Put(pb.Build())
+
+	// partsupp
+	psPart := newPicker(int64(nPart), cfg.columnZ(rng), rng)
+	psSupp := newPicker(int64(nSupp), cfg.columnZ(rng), rng)
+	psb := table.NewBuilder("partsupp", table.NewSchema(
+		col("partsupp", "ps_partkey", value.KindInt),
+		col("partsupp", "ps_suppkey", value.KindInt),
+	))
+	for i := 0; i < nPartsupp; i++ {
+		psb.Add(value.Int(psPart.draw(rng)), value.Int(psSupp.draw(rng)))
+	}
+	cat.Put(psb.Build())
+
+	// orders
+	oCust := newPicker(int64(nCust), cfg.columnZ(rng), rng)
+	oPrio := newPicker(int64(len(prios)), cfg.columnZ(rng), rng)
+	oDay := newPicker(7*365, cfg.columnZ(rng), rng)
+	ob := table.NewBuilder("orders", table.NewSchema(
+		col("orders", "o_orderkey", value.KindInt),
+		col("orders", "o_custkey", value.KindInt),
+		col("orders", "o_orderdate", value.KindString),
+		col("orders", "o_orderpriority", value.KindString),
+	))
+	for i := 1; i <= nOrders; i++ {
+		ob.Add(value.Int(int64(i)),
+			value.Int(oCust.draw(rng)),
+			value.String(dateString(int(oDay.draw(rng))-1)),
+			value.String(prios[oPrio.draw(rng)-1]))
+	}
+	cat.Put(ob.Build())
+
+	// lineitem: 1–7 lines per order (avg 4, as in TPC-H).
+	lPart := newPicker(int64(nPart), cfg.columnZ(rng), rng)
+	lSupp := newPicker(int64(nSupp), cfg.columnZ(rng), rng)
+	lFlag := newPicker(int64(len(flags)), cfg.columnZ(rng), rng)
+	lDay := newPicker(7*365, cfg.columnZ(rng), rng)
+	lb := table.NewBuilder("lineitem", table.NewSchema(
+		col("lineitem", "l_orderkey", value.KindInt),
+		col("lineitem", "l_partkey", value.KindInt),
+		col("lineitem", "l_suppkey", value.KindInt),
+		col("lineitem", "l_quantity", value.KindInt),
+		col("lineitem", "l_shipdate", value.KindString),
+		col("lineitem", "l_returnflag", value.KindString),
+	))
+	for o := 1; o <= nOrders; o++ {
+		lines := 1 + rng.Intn(7)
+		for l := 0; l < lines; l++ {
+			lb.Add(value.Int(int64(o)),
+				value.Int(lPart.draw(rng)),
+				value.Int(lSupp.draw(rng)),
+				value.Int(1+rng.Int63n(50)),
+				value.String(dateString(int(lDay.draw(rng))-1)),
+				value.String(flags[lFlag.draw(rng)-1]))
+		}
+	}
+	cat.Put(lb.Build())
+	return cat
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

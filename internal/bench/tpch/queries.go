@@ -1,0 +1,121 @@
+package tpch
+
+import (
+	"monsoon/internal/expr"
+	"monsoon/internal/query"
+	"monsoon/internal/value"
+)
+
+// Queries returns the TPC-H subset the paper restricts Table 2 to: queries
+// with a non-trivial join ordering problem (at least three tables). Join
+// predicates are expressed as opaque identity UDFs — the setting of the
+// experiment is that no statistics about them are available up front.
+func Queries() []*query.Query {
+	id := expr.Identity
+	str := value.String
+	return []*query.Query{
+		// Q2-shaped: part ⋈ partsupp ⋈ supplier ⋈ nation ⋈ region.
+		query.NewBuilder("tpch-q2").
+			Rel("p", "part").Rel("ps", "partsupp").Rel("s", "supplier").
+			Rel("n", "nation").Rel("r", "region").
+			Join(id("ps.ps_partkey"), id("p.p_partkey")).
+			Join(id("ps.ps_suppkey"), id("s.s_suppkey")).
+			Join(id("s.s_nationkey"), id("n.n_nationkey")).
+			Join(id("n.n_regionkey"), id("r.r_regionkey")).
+			Select(id("p.p_size"), value.Int(15)).
+			Select(id("r.r_name"), str("EUROPE")).
+			MustBuild(),
+		// Q3-shaped: customer ⋈ orders ⋈ lineitem.
+		query.NewBuilder("tpch-q3").
+			Rel("c", "customer").Rel("o", "orders").Rel("l", "lineitem").
+			Join(id("c.c_custkey"), id("o.o_custkey")).
+			Join(id("l.l_orderkey"), id("o.o_orderkey")).
+			Select(id("c.c_mktsegment"), str("BUILDING")).
+			Select(expr.YearOf("o.o_orderdate"), value.Int(1995)).
+			MustBuild(),
+		// Q5-shaped: six tables around the customer–supplier nation equality.
+		query.NewBuilder("tpch-q5").
+			Rel("c", "customer").Rel("o", "orders").Rel("l", "lineitem").
+			Rel("s", "supplier").Rel("n", "nation").Rel("r", "region").
+			Join(id("c.c_custkey"), id("o.o_custkey")).
+			Join(id("l.l_orderkey"), id("o.o_orderkey")).
+			Join(id("l.l_suppkey"), id("s.s_suppkey")).
+			Join(id("c.c_nationkey"), id("s.s_nationkey")).
+			Join(id("s.s_nationkey"), id("n.n_nationkey")).
+			Join(id("n.n_regionkey"), id("r.r_regionkey")).
+			Select(id("r.r_name"), str("ASIA")).
+			Select(expr.YearOf("o.o_orderdate"), value.Int(1994)).
+			MustBuild(),
+		// Q7-shaped: two nation instances.
+		query.NewBuilder("tpch-q7").
+			Rel("s", "supplier").Rel("l", "lineitem").Rel("o", "orders").
+			Rel("c", "customer").Rel("n1", "nation").Rel("n2", "nation").
+			Join(id("s.s_suppkey"), id("l.l_suppkey")).
+			Join(id("o.o_orderkey"), id("l.l_orderkey")).
+			Join(id("c.c_custkey"), id("o.o_custkey")).
+			Join(id("s.s_nationkey"), id("n1.n_nationkey")).
+			Join(id("c.c_nationkey"), id("n2.n_nationkey")).
+			Select(id("n1.n_name"), str("FRANCE")).
+			Select(id("n2.n_name"), str("GERMANY")).
+			MustBuild(),
+		// Q8-shaped: eight tables.
+		query.NewBuilder("tpch-q8").
+			Rel("p", "part").Rel("l", "lineitem").Rel("o", "orders").
+			Rel("c", "customer").Rel("s", "supplier").
+			Rel("n1", "nation").Rel("n2", "nation").Rel("r", "region").
+			Join(id("p.p_partkey"), id("l.l_partkey")).
+			Join(id("l.l_orderkey"), id("o.o_orderkey")).
+			Join(id("o.o_custkey"), id("c.c_custkey")).
+			Join(id("l.l_suppkey"), id("s.s_suppkey")).
+			Join(id("c.c_nationkey"), id("n1.n_nationkey")).
+			Join(id("n1.n_regionkey"), id("r.r_regionkey")).
+			Join(id("s.s_nationkey"), id("n2.n_nationkey")).
+			Select(id("r.r_name"), str("AMERICA")).
+			Select(id("p.p_type"), str("ECONOMY POLISHED BRASS")).
+			MustBuild(),
+		// Q9-shaped: part ⋈ supplier ⋈ lineitem ⋈ partsupp ⋈ orders ⋈ nation.
+		query.NewBuilder("tpch-q9").
+			Rel("p", "part").Rel("s", "supplier").Rel("l", "lineitem").
+			Rel("ps", "partsupp").Rel("o", "orders").Rel("n", "nation").
+			Join(id("s.s_suppkey"), id("l.l_suppkey")).
+			Join(id("ps.ps_suppkey"), id("l.l_suppkey")).
+			Join(id("ps.ps_partkey"), id("l.l_partkey")).
+			Join(id("p.p_partkey"), id("l.l_partkey")).
+			Join(id("o.o_orderkey"), id("l.l_orderkey")).
+			Join(id("s.s_nationkey"), id("n.n_nationkey")).
+			Select(id("p.p_brand"), str("Brand#23")).
+			MustBuild(),
+		// Q10-shaped: returned items by customer nation.
+		query.NewBuilder("tpch-q10").
+			Rel("c", "customer").Rel("o", "orders").Rel("l", "lineitem").Rel("n", "nation").
+			Join(id("c.c_custkey"), id("o.o_custkey")).
+			Join(id("l.l_orderkey"), id("o.o_orderkey")).
+			Join(id("c.c_nationkey"), id("n.n_nationkey")).
+			Select(id("l.l_returnflag"), str("R")).
+			Select(expr.YearOf("o.o_orderdate"), value.Int(1993)).
+			MustBuild(),
+		// Q11-shaped: partsupp ⋈ supplier ⋈ nation.
+		query.NewBuilder("tpch-q11").
+			Rel("ps", "partsupp").Rel("s", "supplier").Rel("n", "nation").
+			Join(id("ps.ps_suppkey"), id("s.s_suppkey")).
+			Join(id("s.s_nationkey"), id("n.n_nationkey")).
+			Select(id("n.n_name"), str("GERMANY")).
+			MustBuild(),
+		// Q18-shaped: large-order chain.
+		query.NewBuilder("tpch-q18").
+			Rel("c", "customer").Rel("o", "orders").Rel("l", "lineitem").
+			Join(id("c.c_custkey"), id("o.o_custkey")).
+			Join(id("o.o_orderkey"), id("l.l_orderkey")).
+			Select(id("l.l_quantity"), value.Int(49)).
+			MustBuild(),
+		// Q21-shaped: supplier ⋈ lineitem ⋈ orders ⋈ nation.
+		query.NewBuilder("tpch-q21").
+			Rel("s", "supplier").Rel("l", "lineitem").Rel("o", "orders").Rel("n", "nation").
+			Join(id("s.s_suppkey"), id("l.l_suppkey")).
+			Join(id("o.o_orderkey"), id("l.l_orderkey")).
+			Join(id("s.s_nationkey"), id("n.n_nationkey")).
+			Select(id("o.o_orderpriority"), str("1-URGENT")).
+			Select(id("n.n_name"), str("SAUDI ARABIA")).
+			MustBuild(),
+	}
+}

@@ -1,0 +1,275 @@
+// Package udf defines the paper's UDF benchmark (§6.2.2, Table 7, Figure 3):
+// 25 queries whose join and selection predicates go exclusively through
+// opaque UDFs — 15 translated from the IMDB join benchmark shapes and 10
+// over TPC-H designed to present a difficult join order problem, including
+// multi-table UDFs whose statistics cannot exist until a join has been
+// materialized. The UDFs are inexpensive (string surgery, hashing, date
+// extraction), matching the paper's scope.
+package udf
+
+import (
+	"monsoon/internal/bench/imdb"
+	"monsoon/internal/bench/tpch"
+	"monsoon/internal/expr"
+	"monsoon/internal/query"
+	"monsoon/internal/table"
+	"monsoon/internal/value"
+)
+
+// Suite bundles the two datasets and the 25 queries. IMDB queries run on
+// IMDBCat; TPC-H queries on TPCHCat.
+type Suite struct {
+	IMDBCat *table.Catalog
+	TPCHCat *table.Catalog
+	IMDB    []*query.Query // 15
+	TPCH    []*query.Query // 10
+}
+
+// Config scales the two datasets.
+type Config struct {
+	Titles      int     // IMDB titles
+	ScaleFactor float64 // TPC-H scale
+	Seed        int64
+}
+
+// Generate builds both catalogs and the query suite.
+func Generate(cfg Config) *Suite {
+	return &Suite{
+		IMDBCat: imdb.Generate(imdb.Config{Titles: cfg.Titles, Seed: cfg.Seed}),
+		TPCHCat: tpch.Generate(tpch.Config{ScaleFactor: cfg.ScaleFactor, Seed: cfg.Seed}),
+		IMDB:    IMDBQueries(),
+		TPCH:    TPCHQueries(),
+	}
+}
+
+// All returns the 25 queries with their catalogs, in benchmark order.
+func (s *Suite) All() []struct {
+	Query *query.Query
+	Cat   *table.Catalog
+} {
+	var out []struct {
+		Query *query.Query
+		Cat   *table.Catalog
+	}
+	for _, q := range s.IMDB {
+		out = append(out, struct {
+			Query *query.Query
+			Cat   *table.Catalog
+		}{q, s.IMDBCat})
+	}
+	for _, q := range s.TPCH {
+		out = append(out, struct {
+			Query *query.Query
+			Cat   *table.Catalog
+		}{q, s.TPCHCat})
+	}
+	return out
+}
+
+// extractTitleKey pulls the embedded title key out of title.note, and
+// formatMovieID formats an integer movie id to match — the §1 pattern.
+func extractTitleKey(attr string) *expr.UDF { return expr.Between(attr, `id="`, `" url=`) }
+func formatMovieID(attr string) *expr.UDF   { return expr.Sprintf(attr, "T%06d") }
+
+// IMDBQueries returns the 15 IMDB-shaped UDF queries.
+func IMDBQueries() []*query.Query {
+	hm := func(attr string) *expr.UDF { return expr.HashMod(attr, 1<<20) }
+	qs := []*query.Query{
+		// 1: extract-join through free text, then a dictionary hop.
+		query.NewBuilder("udf-i01").
+			Rel("t", "title").Rel("ci", "cast_info").Rel("na", "name").
+			Join(extractTitleKey("t.note"), formatMovieID("ci.movie_id")).
+			Join(hm("ci.person_id"), hm("na.id")).
+			MustBuild(),
+		// 2: same spine plus a gender filter through Lower.
+		query.NewBuilder("udf-i02").
+			Rel("t", "title").Rel("ci", "cast_info").Rel("na", "name").
+			Join(extractTitleKey("t.note"), formatMovieID("ci.movie_id")).
+			Join(hm("ci.person_id"), hm("na.id")).
+			Select(expr.Lower("na.gender"), value.String("f")).
+			MustBuild(),
+		// 3: companies via hashed keys, country filter through Lower.
+		query.NewBuilder("udf-i03").
+			Rel("t", "title").Rel("mc", "movie_companies").Rel("cn", "company_name").
+			Join(hm("t.id"), hm("mc.movie_id")).
+			Join(hm("mc.company_id"), hm("cn.id")).
+			Select(expr.Lower("cn.country_code"), value.String("[de]")).
+			MustBuild(),
+		// 4: info dictionary with a Prefix filter on the info payload.
+		query.NewBuilder("udf-i04").
+			Rel("t", "title").Rel("mi", "movie_info").Rel("it", "info_type").
+			Join(extractTitleKey("t.note"), formatMovieID("mi.movie_id")).
+			Join(hm("mi.info_type_id"), hm("it.id")).
+			Select(expr.Prefix("it.info", 3), value.String("bud")).
+			MustBuild(),
+		// 5: keywords with a filter.
+		query.NewBuilder("udf-i05").
+			Rel("t", "title").Rel("mk", "movie_keyword").Rel("kw", "keyword").
+			Join(hm("t.id"), hm("mk.movie_id")).
+			Join(hm("mk.keyword_id"), hm("kw.id")).
+			Select(expr.Prefix("kw.keyword", 2), value.String("mu")).
+			MustBuild(),
+		// 6: four tables, two branches.
+		query.NewBuilder("udf-i06").
+			Rel("t", "title").Rel("ci", "cast_info").Rel("mk", "movie_keyword").Rel("kw", "keyword").
+			Join(hm("t.id"), hm("ci.movie_id")).
+			Join(hm("t.id"), hm("mk.movie_id")).
+			Join(hm("mk.keyword_id"), hm("kw.id")).
+			Select(expr.Lower("kw.keyword"), value.String("sequel")).
+			MustBuild(),
+		// 7: five tables.
+		query.NewBuilder("udf-i07").
+			Rel("t", "title").Rel("ci", "cast_info").Rel("na", "name").
+			Rel("mc", "movie_companies").Rel("cn", "company_name").
+			Join(extractTitleKey("t.note"), formatMovieID("ci.movie_id")).
+			Join(hm("ci.person_id"), hm("na.id")).
+			Join(hm("t.id"), hm("mc.movie_id")).
+			Join(hm("mc.company_id"), hm("cn.id")).
+			Select(expr.Lower("cn.country_code"), value.String("[us]")).
+			MustBuild(),
+		// 8: year extracted from the note text vs. a constant.
+		query.NewBuilder("udf-i08").
+			Rel("t", "title").Rel("mi", "movie_info").Rel("it", "info_type").
+			Join(hm("t.id"), hm("mi.movie_id")).
+			Join(hm("mi.info_type_id"), hm("it.id")).
+			Select(expr.Between("t.note", `year="`, `"/>`), value.String("2010")).
+			MustBuild(),
+		// 9: multi-table UDF — the pair (movie, keyword) hashed together must
+		// hit a bucket; no statistic exists before mk⋈kw is materialized.
+		query.NewBuilder("udf-i09").
+			Rel("mk", "movie_keyword").Rel("kw", "keyword").Rel("t", "title").
+			Join(hm("mk.keyword_id"), hm("kw.id")).
+			Join(expr.SumMod("mk.movie_id", "kw.id", 1<<14), hm("t.id")).
+			MustBuild(),
+		// 10: cast and info star.
+		query.NewBuilder("udf-i10").
+			Rel("t", "title").Rel("ci", "cast_info").Rel("mi", "movie_info").
+			Join(hm("t.id"), hm("ci.movie_id")).
+			Join(hm("t.id"), hm("mi.movie_id")).
+			Select(expr.Lower("mi.info"), value.String("drama")).
+			MustBuild(),
+		// 11: role filter through HashMod = const.
+		query.NewBuilder("udf-i11").
+			Rel("t", "title").Rel("ci", "cast_info").Rel("na", "name").
+			Join(hm("t.id"), hm("ci.movie_id")).
+			Join(hm("ci.person_id"), hm("na.id")).
+			Select(expr.HashMod("ci.role_id", 10), value.Int(3)).
+			MustBuild(),
+		// 12: two dictionaries.
+		query.NewBuilder("udf-i12").
+			Rel("t", "title").Rel("mi", "movie_info").Rel("it", "info_type").
+			Rel("mk", "movie_keyword").Rel("kw", "keyword").
+			Join(hm("t.id"), hm("mi.movie_id")).
+			Join(hm("mi.info_type_id"), hm("it.id")).
+			Join(hm("t.id"), hm("mk.movie_id")).
+			Join(hm("mk.keyword_id"), hm("kw.id")).
+			Select(expr.Prefix("it.info", 6), value.String("rating")).
+			Select(expr.Lower("kw.keyword"), value.String("murder")).
+			MustBuild(),
+		// 13: multi-table ConcatKey over title and company vs a formatted id.
+		query.NewBuilder("udf-i13").
+			Rel("t", "title").Rel("mc", "movie_companies").Rel("cn", "company_name").
+			Join(hm("t.id"), hm("mc.movie_id")).
+			Join(expr.ConcatKey("t.title", "mc.company_type_id"), expr.Sprintf("cn.id", "T%06d|2")).
+			MustBuild(),
+		// 14: deep chain through people.
+		query.NewBuilder("udf-i14").
+			Rel("na", "name").Rel("ci", "cast_info").Rel("t", "title").Rel("mk", "movie_keyword").
+			Join(hm("na.id"), hm("ci.person_id")).
+			Join(formatMovieID("ci.movie_id"), extractTitleKey("t.note")).
+			Join(hm("t.id"), hm("mk.movie_id")).
+			Select(expr.Prefix("na.name", 6), value.String("Name 0")).
+			MustBuild(),
+		// 15: everything star.
+		query.NewBuilder("udf-i15").
+			Rel("t", "title").Rel("ci", "cast_info").Rel("mc", "movie_companies").
+			Rel("mi", "movie_info").
+			Join(hm("t.id"), hm("ci.movie_id")).
+			Join(hm("t.id"), hm("mc.movie_id")).
+			Join(hm("t.id"), hm("mi.movie_id")).
+			Select(expr.HashMod("t.kind_id", 4), value.Int(1)).
+			MustBuild(),
+	}
+	return qs
+}
+
+// TPCHQueries returns the 10 TPC-H-shaped UDF queries.
+func TPCHQueries() []*query.Query {
+	hm := func(attr string) *expr.UDF { return expr.HashMod(attr, 1<<20) }
+	return []*query.Query{
+		// 1: hashed FK chain.
+		query.NewBuilder("udf-t01").
+			Rel("c", "customer").Rel("o", "orders").Rel("l", "lineitem").
+			Join(hm("c.c_custkey"), hm("o.o_custkey")).
+			Join(hm("o.o_orderkey"), hm("l.l_orderkey")).
+			Select(expr.Lower("c.c_mktsegment"), value.String("building")).
+			MustBuild(),
+		// 2: date-equality join between orders and lineitem — a genuinely
+		// fat UDF join (≈2500 distinct days).
+		query.NewBuilder("udf-t02").
+			Rel("o", "orders").Rel("l", "lineitem").Rel("c", "customer").
+			Join(expr.ExtractDate("o.o_orderdate"), expr.ExtractDate("l.l_shipdate")).
+			Join(hm("o.o_custkey"), hm("c.c_custkey")).
+			Select(expr.Prefix("c.c_mktsegment", 4), value.String("AUTO")).
+			MustBuild(),
+		// 3: supplier–nation–lineitem through hashes.
+		query.NewBuilder("udf-t03").
+			Rel("s", "supplier").Rel("l", "lineitem").Rel("n", "nation").
+			Join(hm("s.s_suppkey"), hm("l.l_suppkey")).
+			Join(hm("s.s_nationkey"), hm("n.n_nationkey")).
+			Select(expr.Lower("n.n_name"), value.String("germany")).
+			MustBuild(),
+		// 4: multi-table UDF over (orders, lineitem) against supplier.
+		query.NewBuilder("udf-t04").
+			Rel("o", "orders").Rel("l", "lineitem").Rel("s", "supplier").
+			Join(hm("o.o_orderkey"), hm("l.l_orderkey")).
+			Join(expr.SumMod("o.o_custkey", "l.l_quantity", 997), expr.HashMod("s.s_suppkey", 997)).
+			MustBuild(),
+		// 5: part–lineitem–orders with a year filter through YearOf.
+		query.NewBuilder("udf-t05").
+			Rel("p", "part").Rel("l", "lineitem").Rel("o", "orders").
+			Join(hm("p.p_partkey"), hm("l.l_partkey")).
+			Join(hm("l.l_orderkey"), hm("o.o_orderkey")).
+			Select(expr.YearOf("o.o_orderdate"), value.Int(1995)).
+			MustBuild(),
+		// 6: two-sided ConcatKey (multi-table both sides of the schema cut).
+		query.NewBuilder("udf-t06").
+			Rel("ps", "partsupp").Rel("p", "part").Rel("s", "supplier").
+			Join(hm("ps.ps_partkey"), hm("p.p_partkey")).
+			Join(expr.SumMod("ps.ps_suppkey", "p.p_size", 499), expr.HashMod("s.s_suppkey", 499)).
+			MustBuild(),
+		// 7: customer–nation–orders star with brand-ish filters.
+		query.NewBuilder("udf-t07").
+			Rel("c", "customer").Rel("n", "nation").Rel("o", "orders").
+			Join(hm("c.c_nationkey"), hm("n.n_nationkey")).
+			Join(hm("c.c_custkey"), hm("o.o_custkey")).
+			Select(expr.Prefix("n.n_name", 3), value.String("UNI")).
+			Select(expr.Prefix("o.o_orderpriority", 1), value.String("1")).
+			MustBuild(),
+		// 8: four-table chain with a fat date join in the middle.
+		query.NewBuilder("udf-t08").
+			Rel("c", "customer").Rel("o", "orders").Rel("l", "lineitem").Rel("s", "supplier").
+			Join(hm("c.c_custkey"), hm("o.o_custkey")).
+			Join(expr.ExtractDate("o.o_orderdate"), expr.ExtractDate("l.l_shipdate")).
+			Join(hm("l.l_suppkey"), hm("s.s_suppkey")).
+			Select(expr.Lower("l.l_returnflag"), value.String("r")).
+			MustBuild(),
+		// 9: partsupp chain with hashed-mod bucket join (lossy, fat).
+		query.NewBuilder("udf-t09").
+			Rel("ps", "partsupp").Rel("l", "lineitem").Rel("p", "part").
+			Join(expr.HashMod("ps.ps_partkey", 2048), expr.HashMod("l.l_partkey", 2048)).
+			Join(hm("p.p_partkey"), hm("ps.ps_partkey")).
+			Select(expr.Prefix("p.p_brand", 7), value.String("Brand#2")).
+			MustBuild(),
+		// 10: five tables, mixed fat and selective UDF joins.
+		query.NewBuilder("udf-t10").
+			Rel("c", "customer").Rel("o", "orders").Rel("l", "lineitem").
+			Rel("s", "supplier").Rel("n", "nation").
+			Join(hm("c.c_custkey"), hm("o.o_custkey")).
+			Join(hm("o.o_orderkey"), hm("l.l_orderkey")).
+			Join(hm("l.l_suppkey"), hm("s.s_suppkey")).
+			Join(hm("s.s_nationkey"), hm("n.n_nationkey")).
+			Select(expr.Lower("n.n_name"), value.String("france")).
+			MustBuild(),
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"monsoon/internal/engine"
+	"monsoon/internal/mcts"
+	"monsoon/internal/prior"
+	"monsoon/internal/query"
+	"monsoon/internal/randx"
+	"monsoon/internal/stats"
+)
+
+// Config parameterizes one Monsoon run.
+type Config struct {
+	// Prior over distinct-value counts; nil means the paper's default
+	// (Spike and Slab).
+	Prior prior.Prior
+	// Strategy selects the MCTS selection rule; default UCT.
+	Strategy mcts.Strategy
+	// Iterations is the MCTS rollout budget per planning call; default 800.
+	Iterations int
+	// Seed makes the run reproducible.
+	Seed int64
+	// UniformRollout disables the greedy rollout policy (ablation knob).
+	UniformRollout bool
+	// Stats, when non-nil, pre-seeds the statistics set S with known
+	// statistics (§3.1: "if statistics on a referenced function are
+	// available, this can be handled ... by simply initializing the
+	// optimization problem so that any relevant statistics are known").
+	// Raw base-table counts are always added. The store is used directly
+	// and mutated by the run.
+	Stats *stats.Store
+	// Trace, when non-nil, receives one line per real-world action.
+	Trace func(string)
+}
+
+// Result reports a completed (or timed-out) Monsoon run, including the
+// component breakdown Table 8 reports: MCTS planning time, Σ statistics
+// collection time, and plain execution time.
+type Result struct {
+	// Value is the query's final aggregate.
+	Value float64
+	// Rows is the cardinality of the final result.
+	Rows int
+	// Executes counts EXECUTE transitions (multi-step rounds).
+	Executes int
+	// Actions counts all real-world MDP actions taken.
+	Actions int
+	// SigmaOps counts Σ operators executed.
+	SigmaOps int
+	// PlanTime is total MCTS time; SigmaTime the Σ passes; ExecTime the
+	// rest of engine execution.
+	PlanTime, SigmaTime, ExecTime time.Duration
+	// Produced is the total §4.4 cost actually paid (objects produced).
+	Produced float64
+}
+
+// Run optimizes and executes q on eng with interleaved MCTS planning and
+// execution (§5.3): plan until MCTS prescribes EXECUTE, run all of Rp on the
+// engine, harden observed statistics, and repeat until the full result is
+// materialized. A budget overrun returns engine.ErrBudget with partial
+// accounting in the returned Result.
+func Run(q *query.Query, eng *engine.Engine, budget *engine.Budget, cfg Config) (*Result, error) {
+	if cfg.Prior == nil {
+		cfg.Prior = prior.Default()
+	}
+	if cfg.Iterations == 0 {
+		cfg.Iterations = 800
+	}
+	st := cfg.Stats
+	if st == nil {
+		st = stats.New()
+	}
+	eng.SeedBaseStats(q, st)
+	s := NewInitialState(q, st)
+
+	model := &Model{
+		Q: q, Prior: cfg.Prior,
+		Rng:            randx.New(randx.Derive(cfg.Seed, "sim")),
+		UniformRollout: cfg.UniformRollout,
+	}
+	planner := mcts.New(mcts.Config{
+		Strategy:   cfg.Strategy,
+		Iterations: cfg.Iterations,
+	}, randx.New(randx.Derive(cfg.Seed, "mcts")))
+
+	res := &Result{}
+	for !s.Terminal() {
+		if budget != nil && !budget.Deadline.IsZero() && time.Now().After(budget.Deadline) {
+			return res, engine.ErrBudget
+		}
+		t0 := time.Now()
+		picked := planner.Plan(model, s)
+		res.PlanTime += time.Since(t0)
+		if picked == nil {
+			return res, fmt.Errorf("core: no legal action in non-terminal state %s", s)
+		}
+		act := picked.(Action)
+		res.Actions++
+		if cfg.Trace != nil {
+			cfg.Trace(act.String())
+		}
+		if act.Kind != ActExecute {
+			ns, err := applyPlanEdit(s, q, act)
+			if err != nil {
+				return res, err
+			}
+			s = ns
+			continue
+		}
+		// Real-world EXECUTE: run every planned tree on the engine and
+		// harden everything it observed.
+		ns := s.clone(false)
+		for _, t := range ns.Planned {
+			if t.Tree.Sigma {
+				res.SigmaOps++
+			}
+			t1 := time.Now()
+			_, er, err := eng.ExecTree(q, t.Tree, budget)
+			elapsed := time.Since(t1)
+			res.SigmaTime += er.SigmaTime
+			res.ExecTime += elapsed - er.SigmaTime
+			res.Produced += er.Produced
+			for k, v := range er.Counts {
+				st.SetCount(k, v)
+			}
+			for _, o := range er.Sigma {
+				st.SetMeasured(o.Term, o.Expr, o.D)
+			}
+			if err != nil {
+				return res, err
+			}
+			if cfg.Trace != nil {
+				cfg.Trace(fmt.Sprintf("  materialized %s (%.0f objects produced)", t.Tree, er.Produced))
+			}
+		}
+		settleExecution(ns)
+		st.DropAssumed()
+		s = ns
+		res.Executes++
+	}
+	rel, ok := eng.Materialized(q.Aliases().Key())
+	if !ok {
+		return res, fmt.Errorf("core: terminal state but result not materialized")
+	}
+	v, err := engine.FinalAggregate(q, rel)
+	if err != nil {
+		return res, err
+	}
+	res.Value = v
+	res.Rows = rel.Count()
+	return res, nil
+}

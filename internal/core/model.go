@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"monsoon/internal/cost"
+	"monsoon/internal/mcts"
+	"monsoon/internal/plan"
+	"monsoon/internal/prior"
+	"monsoon/internal/query"
+)
+
+// Model is the MDP simulator MCTS plans against (§4.3). Plan edits transition
+// deterministically; EXECUTE samples every missing statistic from the prior,
+// derives the resulting cardinalities with the recursive generation
+// algorithm, and returns the negated §4.4 cost as reward.
+type Model struct {
+	Q     *query.Query
+	Prior prior.Prior
+	Rng   *rand.Rand
+	// UniformRollout switches the default policy from the greedy completion
+	// documented on RolloutAction to uniform random action selection. It
+	// exists for the ablation experiment: uniform rollouts hide the value of
+	// information from shallow searches.
+	UniformRollout bool
+}
+
+var (
+	_ mcts.Model        = (*Model)(nil)
+	_ mcts.RolloutModel = (*Model)(nil)
+)
+
+// Legal implements mcts.Model.
+func (m *Model) Legal(s mcts.State) []mcts.Action {
+	acts := legalActions(s.(*State), m.Q)
+	out := make([]mcts.Action, len(acts))
+	for i, a := range acts {
+		out[i] = a
+	}
+	return out
+}
+
+// Step implements mcts.Model. It never mutates the input state: plan edits
+// clone the structure (sharing statistics), EXECUTE clones the statistics
+// too before hardening them with sampled values.
+func (m *Model) Step(s mcts.State, a mcts.Action) (mcts.State, float64, bool) {
+	st := s.(*State)
+	act := a.(Action)
+	if act.Kind != ActExecute {
+		ns, err := applyPlanEdit(st, m.Q, act)
+		if err != nil {
+			panic(err) // planner bug: actions come from legalActions
+		}
+		return ns, 0, false
+	}
+	ns := st.clone(true)
+	dv := &cost.Deriver{Q: m.Q, St: ns.St, Miss: m.priorMiss()}
+	total := 0.0
+	for _, t := range ns.Planned {
+		total += dv.PlanCost(t.Tree)
+		if t.Tree.Sigma {
+			m.simSigma(dv, ns, t.Tree)
+		}
+	}
+	settleExecution(ns)
+	return ns, -total, true
+}
+
+// priorMiss adapts the prior to the Deriver's MissFn: the stochastic
+// transition samples the hidden world.
+func (m *Model) priorMiss() cost.MissFn {
+	return func(_ *query.Term, _, _ string, cExpr, cPartner float64) float64 {
+		return m.Prior.Sample(m.Rng, cExpr, cPartner)
+	}
+}
+
+// meanMiss resolves missing statistics with the prior's expectation. The
+// rollout policy must use this, never priorMiss: a blind plan's quality has
+// to be evaluated without access to the very statistics the world will only
+// reveal at execution, otherwise simulation systematically undervalues Σ
+// probes (the policy would be an oracle and information would be worthless).
+func (m *Model) meanMiss() cost.MissFn {
+	return func(_ *query.Term, _, _ string, cExpr, cPartner float64) float64 {
+		return m.Prior.Mean(cExpr, cPartner)
+	}
+}
+
+// simSigma simulates the Σ operator: every open join term evaluable over the
+// materialized expression gets its distinct count hardened — resolved through
+// the same lookup chain the cost model uses (so values already sampled while
+// deriving this transition's counts stay consistent) and promoted to a
+// measured statistic in the sampled world.
+func (m *Model) simSigma(dv *cost.Deriver, ns *State, tree *plan.Node) {
+	cover := tree.Aliases()
+	key := tree.Key()
+	cE, ok := ns.St.Count(key)
+	if !ok {
+		cE = dv.NodeCount(tree.WithoutSigma())
+	}
+	for _, p := range m.Q.Joins {
+		for ti, t := range []*query.Term{p.L, p.R} {
+			if !t.Aliases.SubsetOf(cover) || p.ApplicableAt(cover) {
+				continue
+			}
+			if ns.St.HasMeasured(t.ID, key) {
+				continue
+			}
+			other := p.R
+			if ti == 1 {
+				other = p.L
+			}
+			pKey := other.Aliases.Key()
+			cP := m.partnerCount(dv, other.Aliases)
+			d := dv.Distinct(t, key, pKey, cE, cP)
+			ns.St.SetMeasured(t.ID, key, d)
+		}
+	}
+}
+
+// partnerCount estimates the cardinality of the minimal expression covering
+// a term's aliases, for parameterizing the prior: a known count wins, a
+// single alias estimates its filtered scan, a multi-alias set falls back to
+// the product of its members' filtered estimates.
+func (m *Model) partnerCount(dv *cost.Deriver, aliases query.AliasSet) float64 {
+	if c, ok := dv.St.Count(aliases.Key()); ok {
+		return c
+	}
+	prod := 1.0
+	for _, name := range aliases.Names() {
+		prod *= dv.NodeCount(plan.NewLeaf(query.NewAliasSet(name)))
+	}
+	return prod
+}
+
+// RolloutAction implements mcts.RolloutModel with a greedy default policy:
+// finish the query with the join order that looks cheapest under the rollout
+// world's statistics (hardened values where known, prior samples elsewhere),
+// then EXECUTE. Σ actions are never taken during rollouts — the tree policy
+// explores them — so a rollout directly prices "commit now with what this
+// world knows", which is exactly what makes the value of information visible
+// to the search: a subtree below a simulated Σ completes with the hardened
+// statistic, a subtree that guessed completes blind.
+func (m *Model) RolloutAction(s mcts.State, rng *rand.Rand) mcts.Action {
+	st := s.(*State)
+	acts := legalActions(st, m.Q)
+	if len(acts) == 0 {
+		return nil
+	}
+	if m.UniformRollout {
+		return acts[rng.Intn(len(acts))]
+	}
+	var dv *cost.Deriver // lazily built: most states have join candidates
+	bestJoin := -1
+	bestCount := math.Inf(1)
+	execIdx := -1
+	for i, a := range acts {
+		switch a.Kind {
+		case ActExecute:
+			execIdx = i
+		case ActJoinMats, ActJoinPlanned, ActJoinMatPlanned:
+			if dv == nil {
+				dv = &cost.Deriver{Q: m.Q, St: st.St.Clone(), Miss: m.meanMiss()}
+			}
+			node, err := joinCandidate(st, a)
+			if err != nil {
+				continue
+			}
+			if c := dv.NodeCount(node); c < bestCount {
+				bestCount = c
+				bestJoin = i
+			}
+		}
+	}
+	if bestJoin >= 0 {
+		return acts[bestJoin]
+	}
+	if execIdx >= 0 {
+		return acts[execIdx]
+	}
+	return acts[rng.Intn(len(acts))]
+}
+
+// joinCandidate builds the plan node a join action would create, for costing.
+func joinCandidate(s *State, a Action) (*plan.Node, error) {
+	pick := func(kind ActionKind, key string) (*plan.Node, error) {
+		if kind == ActJoinPlanned {
+			if i := s.findPlanned(key); i >= 0 {
+				return s.Planned[i].Tree, nil
+			}
+			return nil, fmt.Errorf("core: planned %q missing", key)
+		}
+		if i := s.findActive(key); i >= 0 {
+			return plan.NewLeaf(s.Active[i]), nil
+		}
+		return nil, fmt.Errorf("core: active %q missing", key)
+	}
+	var l, r *plan.Node
+	var err error
+	switch a.Kind {
+	case ActJoinMats:
+		if l, err = pick(ActJoinMats, a.A); err != nil {
+			return nil, err
+		}
+		r, err = pick(ActJoinMats, a.B)
+	case ActJoinPlanned:
+		if l, err = pick(ActJoinPlanned, a.A); err != nil {
+			return nil, err
+		}
+		r, err = pick(ActJoinPlanned, a.B)
+	case ActJoinMatPlanned:
+		if l, err = pick(ActJoinMats, a.A); err != nil {
+			return nil, err
+		}
+		r, err = pick(ActJoinPlanned, a.B)
+	default:
+		return nil, fmt.Errorf("core: %v is not a join action", a)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return plan.NewJoin(l.WithoutSigma(), r.WithoutSigma()), nil
+}

@@ -1,0 +1,140 @@
+// Package core is the paper's primary contribution: the Monsoon optimizer.
+// It formalizes interleaved statistics collection and execution as a Markov
+// decision process (§4) — states are (planned expressions Rp, materialized
+// expressions Re, statistics S); actions build join trees, attach Σ
+// statistics-collection operators, or EXECUTE; EXECUTE transitions are
+// stochastic, hardening unknown statistics — and solves it online with
+// Monte-Carlo tree search (§5.1) against a prior over distinct-value counts
+// (§5.2). The Driver (§5.3) alternates MCTS planning with real execution on
+// the engine until the query result is materialized.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"monsoon/internal/plan"
+	"monsoon/internal/query"
+	"monsoon/internal/stats"
+)
+
+// PlannedTree is one entry of Rp.
+type PlannedTree struct {
+	Tree *plan.Node
+	// SigmaCopy marks trees created by copying an already-materialized
+	// expression from Re and topping it with Σ (§4.2 action 1). Such trees
+	// are read-only side computations and are exempt from the pairwise
+	// alias-disjointness the other planned trees keep.
+	SigmaCopy bool
+}
+
+// State is the MDP state (§4.1). Plan-edit transitions share the statistics
+// store; only EXECUTE transitions clone it.
+type State struct {
+	// Planned is Rp, in insertion order.
+	Planned []PlannedTree
+	// Active is the frontier of Re: materialized expressions whose alias
+	// sets are pairwise disjoint and not subsumed by a larger materialized
+	// expression. Sorted by key for determinism.
+	Active []query.AliasSet
+	// St is the statistics set S.
+	St *stats.Store
+
+	full query.AliasSet // alias set of the whole query
+	done bool           // a materialization covering the full set has run
+}
+
+// NewInitialState builds the start state: no plans, every base relation
+// active, and whatever statistics st already holds (raw input sizes at
+// minimum; callers with partial knowledge may pre-seed more, §3.1).
+func NewInitialState(q *query.Query, st *stats.Store) *State {
+	s := &State{St: st, full: q.Aliases()}
+	for _, name := range s.full.Names() {
+		s.Active = append(s.Active, query.NewAliasSet(name))
+	}
+	s.sortActive()
+	return s
+}
+
+func (s *State) sortActive() {
+	sort.Slice(s.Active, func(i, j int) bool { return s.Active[i].Key() < s.Active[j].Key() })
+}
+
+// Terminal reports whether the full query result has been materialized. A
+// flag (set when an executed expression covers every alias) rather than an
+// inspection of Active: for single-relation queries the full alias set is
+// "active" from the start, yet its filtered result still has to be computed.
+func (s *State) Terminal() bool { return s.done }
+
+// clone copies the mutable structure; the statistics store is shared unless
+// withStats is set.
+func (s *State) clone(withStats bool) *State {
+	c := &State{full: s.full, St: s.St, done: s.done}
+	c.Planned = append([]PlannedTree(nil), s.Planned...)
+	c.Active = append([]query.AliasSet(nil), s.Active...)
+	if withStats {
+		c.St = s.St.Clone()
+	}
+	return c
+}
+
+// findPlanned locates a planned tree by its root key; -1 when absent.
+func (s *State) findPlanned(key string) int {
+	for i, t := range s.Planned {
+		if t.Tree.Key() == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// findActive locates an active entry by key; -1 when absent.
+func (s *State) findActive(key string) int {
+	for i, a := range s.Active {
+		if a.Key() == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// OutcomeKey identifies the state for chance-node bucketing: the structure
+// plus every statistic, counts log2-bucketed so that nearby sampled worlds
+// share subtrees while materially different ones split (§5.1).
+func (s *State) OutcomeKey() string {
+	var b strings.Builder
+	for _, t := range s.Planned {
+		b.WriteString(t.Tree.String())
+		b.WriteByte(';')
+	}
+	b.WriteByte('|')
+	for _, a := range s.Active {
+		b.WriteString(a.Key())
+		b.WriteByte(';')
+	}
+	b.WriteByte('|')
+	b.WriteString(s.St.BucketSignature())
+	return b.String()
+}
+
+// String renders the state for debugging.
+func (s *State) String() string {
+	var b strings.Builder
+	b.WriteString("Rp={")
+	for i, t := range s.Planned {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.Tree.String())
+	}
+	b.WriteString("} Re*={")
+	for i, a := range s.Active {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.Key())
+	}
+	fmt.Fprintf(&b, "} |S|=%d+%d", s.St.CountEntries(), s.St.MeasuredEntries())
+	return b.String()
+}

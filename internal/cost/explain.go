@@ -1,0 +1,69 @@
+package cost
+
+import (
+	"fmt"
+	"strings"
+
+	"monsoon/internal/plan"
+)
+
+// Explain renders a plan tree, EXPLAIN-style: one node per line, indented by
+// depth, with the predicates applied at each join, the deriver's cardinality
+// estimate, and — when an actuals map from an engine run is supplied — the
+// observed count and the q-error of the estimate.
+//
+//	⋈ [R+S+T] preds{F3(R.b)=id(T.k)} est=1e+06 actual=964412 q=1.04
+//	  ⋈ [R+S] preds{F1(R.a)=id(S.k)} est=1e+07 actual=1.2e+07 q=1.20
+//	    scan R est=1e+06
+//	    scan S est=10000
+//	  scan T est=10000
+func Explain(dv *Deriver, tree *plan.Node, actuals map[string]float64) string {
+	var b strings.Builder
+	explainNode(&b, dv, tree, actuals, 0, true)
+	return b.String()
+}
+
+func explainNode(b *strings.Builder, dv *Deriver, n *plan.Node, actuals map[string]float64, depth int, root bool) {
+	b.WriteString(strings.Repeat("  ", depth))
+	if root && n.Sigma {
+		b.WriteString("Σ ")
+	}
+	if n.IsLeaf() {
+		if n.Leaf.Size() == 1 {
+			b.WriteString("scan " + n.Leaf.Names()[0])
+		} else {
+			b.WriteString("reuse [" + n.Key() + "]")
+		}
+	} else {
+		b.WriteString("⋈ [" + n.Key() + "]")
+		var preds []string
+		for _, p := range dv.Q.PredsNewAt(n.Left.Aliases(), n.Right.Aliases()) {
+			preds = append(preds, p.String())
+		}
+		for _, s := range dv.Q.SelsNewAt(n.Left.Aliases(), n.Right.Aliases()) {
+			preds = append(preds, s.String())
+		}
+		if len(preds) == 0 {
+			b.WriteString(" cross-product")
+		} else {
+			b.WriteString(" preds{" + strings.Join(preds, ", ") + "}")
+		}
+	}
+	est := dv.NodeCount(n)
+	fmt.Fprintf(b, " est=%.4g", est)
+	if actual, ok := actuals[n.Key()]; ok {
+		q := 1.0
+		if actual > 0 && est > 0 {
+			q = est / actual
+			if q < 1 {
+				q = 1 / q
+			}
+		}
+		fmt.Fprintf(b, " actual=%.4g q=%.2f", actual, q)
+	}
+	b.WriteByte('\n')
+	if !n.IsLeaf() {
+		explainNode(b, dv, n.Left, actuals, depth+1, false)
+		explainNode(b, dv, n.Right, actuals, depth+1, false)
+	}
+}

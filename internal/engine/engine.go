@@ -1,0 +1,493 @@
+// Package engine executes plan trees against stored tables: scans with
+// pushed-down selections, hash joins on opaque UDF terms, nested-loop
+// products with residual predicates (the only option when a multi-table UDF
+// crosses the join), materialization of tree roots, and the Σ statistics
+// collection operator (§4.2), which takes one extra pass over a materialized
+// result running HyperLogLog sketches over every evaluable UDF term.
+//
+// The engine's accounting is aligned with the paper's cost model (§4.4):
+// Produced counts the objects emitted by every operator — filtered leaf
+// outputs, join outputs, and the extra Σ pass — so that the optimizer's
+// simulated cost and the engine's real cost are the same quantity.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"monsoon/internal/expr"
+	"monsoon/internal/plan"
+	"monsoon/internal/query"
+	"monsoon/internal/sketch"
+	"monsoon/internal/stats"
+	"monsoon/internal/table"
+	"monsoon/internal/value"
+)
+
+// ErrBudget is returned when a query exceeds its wall-clock deadline or its
+// tuple budget; the harness reports it as a timeout.
+var ErrBudget = errors.New("engine: execution budget exhausted")
+
+// Budget bounds one query execution. Zero values disable a bound. A single
+// Budget is shared across every EXECUTE step of a multi-step query.
+type Budget struct {
+	Deadline  time.Time
+	MaxTuples float64
+
+	produced float64
+	checkCtr int
+}
+
+// Charge accounts n produced tuples and reports ErrBudget when a bound is
+// exceeded. The deadline is polled roughly every thousand tuples to keep it off
+// the per-tuple path.
+func (b *Budget) Charge(n int) error {
+	if b == nil {
+		return nil
+	}
+	b.produced += float64(n)
+	if b.MaxTuples > 0 && b.produced > b.MaxTuples {
+		return ErrBudget
+	}
+	if n > 1 {
+		b.checkCtr += n
+	} else {
+		b.checkCtr++
+	}
+	if b.checkCtr >= 1024 {
+		b.checkCtr = 0
+		if !b.Deadline.IsZero() && time.Now().After(b.Deadline) {
+			return ErrBudget
+		}
+	}
+	return nil
+}
+
+// Produced reports the tuples charged so far.
+func (b *Budget) Produced() float64 {
+	if b == nil {
+		return 0
+	}
+	return b.produced
+}
+
+// SigmaObs is one distinct-value measurement produced by a Σ operator.
+type SigmaObs struct {
+	Term int
+	Expr string
+	D    float64
+}
+
+// ExecResult reports what one tree execution observed.
+type ExecResult struct {
+	// Produced is the total number of objects emitted by the tree's
+	// operators, including the extra Σ pass (the §4.4 cost).
+	Produced float64
+	// Counts holds the hardened cardinality of every node in the tree,
+	// keyed by expression (alias-set) key.
+	Counts map[string]float64
+	// Sigma holds distinct-value measurements when the root carried Σ.
+	Sigma []SigmaObs
+	// SigmaTime is the portion of wall time spent in the Σ pass.
+	SigmaTime time.Duration
+}
+
+// Engine executes plans for one dataset. It owns the materialized-expression
+// store that backs the MDP's Re set.
+type Engine struct {
+	Cat *table.Catalog
+	// HLLPrecision configures Σ sketches; 0 means the default (14).
+	HLLPrecision uint8
+
+	mats map[string]*table.Relation
+}
+
+// New creates an engine over a catalog of stored base tables.
+func New(cat *table.Catalog) *Engine {
+	return &Engine{Cat: cat, mats: make(map[string]*table.Relation)}
+}
+
+// Materialized returns the materialized relation for an expression key.
+func (e *Engine) Materialized(key string) (*table.Relation, bool) {
+	r, ok := e.mats[key]
+	return r, ok
+}
+
+// Register stores a materialized relation under an expression key. ExecTree
+// registers roots automatically; tests and the baselines use this directly.
+func (e *Engine) Register(key string, r *table.Relation) { e.mats[key] = r }
+
+// Reset drops all materialized intermediates (between queries).
+func (e *Engine) Reset() { e.mats = make(map[string]*table.Relation) }
+
+// SeedBaseStats records the raw cardinality of every base table referenced
+// by q into st — the statistics assumed known at the start (§4.1).
+func (e *Engine) SeedBaseStats(q *query.Query, st *stats.Store) {
+	for _, r := range q.Rels {
+		st.SetCount(stats.RawKey(r.Alias), float64(e.Cat.MustGet(r.Table).Count()))
+	}
+}
+
+// ExecTree executes one plan tree, materializes and registers its root, and
+// returns the result relation plus observations. Budget overruns abort with
+// ErrBudget; partial results are discarded but counts already observed are
+// returned so the harness can report progress.
+func (e *Engine) ExecTree(q *query.Query, n *plan.Node, budget *Budget) (*table.Relation, *ExecResult, error) {
+	res := &ExecResult{Counts: make(map[string]float64)}
+	rel, err := e.exec(q, n, budget, res)
+	if err != nil {
+		return nil, res, err
+	}
+	if n.Sigma {
+		start := time.Now()
+		if err := e.collectSigma(q, n, rel, budget, res); err != nil {
+			return nil, res, err
+		}
+		res.SigmaTime = time.Since(start)
+	}
+	e.mats[n.Key()] = rel
+	return rel, res, nil
+}
+
+func (e *Engine) exec(q *query.Query, n *plan.Node, budget *Budget, res *ExecResult) (*table.Relation, error) {
+	var rel *table.Relation
+	var err error
+	if n.IsLeaf() {
+		rel, err = e.execLeaf(q, n, budget)
+	} else {
+		rel, err = e.execJoin(q, n, budget, res)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Counts[n.Key()] = float64(rel.Count())
+	res.Produced += float64(rel.Count())
+	return rel, nil
+}
+
+// execLeaf resolves a leaf: a previously materialized expression if one
+// exists under the leaf's key, otherwise a scan of the stored base table with
+// every single-alias selection pushed down.
+func (e *Engine) execLeaf(q *query.Query, n *plan.Node, budget *Budget) (*table.Relation, error) {
+	key := n.Key()
+	if m, ok := e.mats[key]; ok {
+		// Reusing a materialized expression still costs one pass over it
+		// (cost(r) = c(r) for r in Re, §4.4).
+		if err := budget.Charge(m.Count()); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+	if n.Leaf.Size() != 1 {
+		return nil, fmt.Errorf("engine: leaf %q references an unmaterialized expression", key)
+	}
+	alias := n.Leaf.Names()[0]
+	tbl, ok := q.TableOf(alias)
+	if !ok {
+		return nil, fmt.Errorf("engine: alias %q not in query", alias)
+	}
+	base := e.Cat.MustGet(tbl).Renamed(alias)
+	sels := q.SelsAt(n.Leaf)
+	if len(sels) == 0 {
+		if err := budget.Charge(base.Count()); err != nil {
+			return nil, err
+		}
+		return base, nil
+	}
+	type boundSel struct {
+		b *expr.Binding
+		k value.Value
+	}
+	bound := make([]boundSel, 0, len(sels))
+	for _, s := range sels {
+		b, ok := s.T.Fn.Bind(base.Schema)
+		if !ok {
+			return nil, fmt.Errorf("engine: selection %s not bindable on %s", s, base.Schema)
+		}
+		bound = append(bound, boundSel{b: b, k: s.Const})
+	}
+	out := make([]table.Row, 0, base.Count()/4+1)
+	for _, row := range base.Rows {
+		keep := true
+		for _, s := range bound {
+			if !s.b.Eval(row).Equal(s.k) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, row)
+			if err := budget.Charge(1); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return table.NewRelation(key, base.Schema, out), nil
+}
+
+// residual is a predicate evaluated per joined row pair.
+type residual struct {
+	lb, rb *expr.Binding // join predicate sides (nil for selections)
+	sb     *expr.Binding // selection term
+	k      value.Value   // selection constant
+}
+
+func (e *Engine) execJoin(q *query.Query, n *plan.Node, budget *Budget, res *ExecResult) (*table.Relation, error) {
+	left, err := e.exec(q, n.Left, budget, res)
+	if err != nil {
+		return nil, err
+	}
+	right, err := e.exec(q, n.Right, budget, res)
+	if err != nil {
+		return nil, err
+	}
+	outSchema := left.Schema.Concat(right.Schema)
+	newPreds := q.PredsNewAt(n.Left.Aliases(), n.Right.Aliases())
+	newSels := q.SelsNewAt(n.Left.Aliases(), n.Right.Aliases())
+
+	// Choose a hash predicate: one whose sides bind to opposite children.
+	var hashPred *query.JoinPred
+	var buildTerm, probeTerm *query.Term
+	for _, p := range newPreds {
+		lInL := p.L.Aliases.SubsetOf(n.Left.Aliases())
+		rInR := p.R.Aliases.SubsetOf(n.Right.Aliases())
+		lInR := p.L.Aliases.SubsetOf(n.Right.Aliases())
+		rInL := p.R.Aliases.SubsetOf(n.Left.Aliases())
+		if lInL && rInR {
+			hashPred, buildTerm, probeTerm = p, p.L, p.R
+			break
+		}
+		if lInR && rInL {
+			hashPred, buildTerm, probeTerm = p, p.R, p.L
+			break
+		}
+	}
+
+	// Everything else is residual, evaluated over the concatenated row.
+	var residuals []residual
+	for _, p := range newPreds {
+		if p == hashPred {
+			continue
+		}
+		lb, ok1 := p.L.Fn.Bind(outSchema)
+		rb, ok2 := p.R.Fn.Bind(outSchema)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("engine: predicate %s not bindable at %s", p, n)
+		}
+		residuals = append(residuals, residual{lb: lb, rb: rb})
+	}
+	for _, s := range newSels {
+		sb, ok := s.T.Fn.Bind(outSchema)
+		if !ok {
+			return nil, fmt.Errorf("engine: selection %s not bindable at %s", s, n)
+		}
+		residuals = append(residuals, residual{sb: sb, k: s.Const})
+	}
+
+	if hashPred != nil {
+		return e.hashJoin(left, right, buildTerm, probeTerm, residuals, outSchema, n.Key(), budget)
+	}
+	return e.nestedLoop(left, right, residuals, outSchema, n.Key(), budget)
+}
+
+// hashJoin builds on the left child and probes with the right. buildTerm
+// binds on the left schema, probeTerm on the right. NULL keys never match.
+func (e *Engine) hashJoin(left, right *table.Relation, buildTerm, probeTerm *query.Term,
+	residuals []residual, outSchema *table.Schema, name string, budget *Budget) (*table.Relation, error) {
+
+	// Build on the smaller side to bound memory; swap roles if needed while
+	// keeping output column order (left ++ right).
+	buildRel, probeRel := left, right
+	bTerm, pTerm := buildTerm, probeTerm
+	leftIsBuild := true
+	if right.Count() < left.Count() {
+		buildRel, probeRel = right, left
+		bTerm, pTerm = probeTerm, buildTerm
+		leftIsBuild = false
+	}
+	bb, ok := bTerm.Fn.Bind(buildRel.Schema)
+	if !ok {
+		return nil, fmt.Errorf("engine: term %s not bindable on build side", bTerm)
+	}
+	pb, ok := pTerm.Fn.Bind(probeRel.Schema)
+	if !ok {
+		return nil, fmt.Errorf("engine: term %s not bindable on probe side", pTerm)
+	}
+	type bucket struct {
+		key  value.Value
+		rows []int
+	}
+	ht := make(map[uint64][]bucket, buildRel.Count())
+	for i, row := range buildRel.Rows {
+		// Building over a huge materialized input produces nothing but must
+		// still honor the deadline.
+		if err := budget.Charge(0); err != nil {
+			return nil, err
+		}
+		k := bb.Eval(row)
+		if k.IsNull() {
+			continue
+		}
+		h := k.Hash()
+		bs := ht[h]
+		found := false
+		for bi := range bs {
+			if bs[bi].key.Equal(k) {
+				bs[bi].rows = append(bs[bi].rows, i)
+				found = true
+				break
+			}
+		}
+		if !found {
+			bs = append(bs, bucket{key: k, rows: []int{i}})
+		}
+		ht[h] = bs
+	}
+	var out []table.Row
+	scratch := make(table.Row, len(outSchema.Cols))
+	for _, prow := range probeRel.Rows {
+		// Matchless probes produce nothing; poll the deadline anyway.
+		if err := budget.Charge(0); err != nil {
+			return nil, err
+		}
+		k := pb.Eval(prow)
+		if k.IsNull() {
+			continue
+		}
+		for _, b := range ht[k.Hash()] {
+			if !b.key.Equal(k) {
+				continue
+			}
+			for _, bi := range b.rows {
+				brow := buildRel.Rows[bi]
+				var lrow, rrow table.Row
+				if leftIsBuild {
+					lrow, rrow = brow, prow
+				} else {
+					lrow, rrow = prow, brow
+				}
+				copy(scratch, lrow)
+				copy(scratch[len(lrow):], rrow)
+				if !passResiduals(scratch, residuals) {
+					continue
+				}
+				joined := make(table.Row, len(scratch))
+				copy(joined, scratch)
+				out = append(out, joined)
+				if err := budget.Charge(1); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return table.NewRelation(name, outSchema, out), nil
+}
+
+// nestedLoop computes the filtered product; it is the only strategy when no
+// predicate separates the children (pure cross products and crossing
+// multi-table UDF terms).
+func (e *Engine) nestedLoop(left, right *table.Relation, residuals []residual,
+	outSchema *table.Schema, name string, budget *Budget) (*table.Relation, error) {
+	var out []table.Row
+	scratch := make(table.Row, len(outSchema.Cols))
+	for _, lrow := range left.Rows {
+		copy(scratch, lrow)
+		for _, rrow := range right.Rows {
+			copy(scratch[len(lrow):], rrow)
+			if !passResiduals(scratch, residuals) {
+				// Even rejected pairs consume work in a nested loop; charge
+				// them against the deadline occasionally via a zero charge.
+				if err := budget.Charge(0); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			joined := make(table.Row, len(scratch))
+			copy(joined, scratch)
+			out = append(out, joined)
+			if err := budget.Charge(1); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return table.NewRelation(name, outSchema, out), nil
+}
+
+func passResiduals(row table.Row, residuals []residual) bool {
+	for _, r := range residuals {
+		if r.sb != nil {
+			if !r.sb.Eval(row).Equal(r.k) {
+				return false
+			}
+			continue
+		}
+		if !r.lb.Eval(row).Equal(r.rb.Eval(row)) {
+			return false
+		}
+	}
+	return true
+}
+
+// collectSigma runs the Σ pass: one more scan of the materialized result,
+// feeding every evaluable UDF term through an HLL sketch. Identity terms are
+// included — they are just another opaque function to the optimizer.
+func (e *Engine) collectSigma(q *query.Query, n *plan.Node, rel *table.Relation, budget *Budget, res *ExecResult) error {
+	p := e.HLLPrecision
+	if p == 0 {
+		p = 14
+	}
+	type tracked struct {
+		term *query.Term
+		b    *expr.Binding
+		h    *sketch.HLL
+	}
+	var ts []tracked
+	for _, t := range q.Terms() {
+		if !t.Aliases.SubsetOf(n.Aliases()) {
+			continue
+		}
+		b, ok := t.Fn.Bind(rel.Schema)
+		if !ok {
+			continue
+		}
+		ts = append(ts, tracked{term: t, b: b, h: sketch.NewHLL(p)})
+	}
+	for _, row := range rel.Rows {
+		if err := budget.Charge(1); err != nil {
+			return err
+		}
+		for _, t := range ts {
+			v := t.b.Eval(row)
+			if v.IsNull() {
+				continue
+			}
+			t.h.Add(v.Hash())
+		}
+	}
+	res.Produced += float64(rel.Count()) // the extra pass, §4.4
+	for _, t := range ts {
+		res.Sigma = append(res.Sigma, SigmaObs{Term: t.term.ID, Expr: n.Key(), D: t.h.Estimate()})
+	}
+	return nil
+}
+
+// FinalAggregate computes the query's output over the completed join result.
+func FinalAggregate(q *query.Query, rel *table.Relation) (float64, error) {
+	switch q.Out.Kind {
+	case query.AggCount:
+		return float64(rel.Count()), nil
+	case query.AggSum:
+		pos, ok := rel.Schema.Lookup(q.Out.Attr)
+		if !ok {
+			return 0, fmt.Errorf("engine: SUM attribute %q not in result schema", q.Out.Attr)
+		}
+		sum := 0.0
+		for _, row := range rel.Rows {
+			sum += row[pos].AsFloat()
+		}
+		return sum, nil
+	default:
+		return 0, fmt.Errorf("engine: unknown aggregate kind %d", q.Out.Kind)
+	}
+}

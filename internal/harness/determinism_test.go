@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCampaignDeterminism: the whole pipeline — generation, every optimizer
+// (including Monsoon's MCTS and Skinner's episodes), execution — is seeded,
+// so two identical campaigns must produce identical tuple costs, result
+// cardinalities, and timeout decisions driven by the tuple cap. (Wall-clock
+// fields differ; a deadline-driven timeout could too, so the test uses a
+// tuple cap only.)
+func TestCampaignDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	run := func() *BenchResult {
+		specs := tinySpecs(t)
+		options := []Option{
+			Postgres{}, Defaults{}, Greedy{}, Monsoon{Iterations: 120},
+			OnDemand{}, Sampling{}, Skinner{}, LEC{Worlds: 8},
+		}
+		br, err := RunBenchmark(specs, options, time.Minute, 2e6, 77, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return br
+	}
+	a, b := run(), run()
+	for name, ra := range a.Results {
+		rb := b.Results[name]
+		if len(ra) != len(rb) {
+			t.Fatalf("%s: different result counts", name)
+		}
+		for i := range ra {
+			if ra[i].Produced != rb[i].Produced {
+				t.Errorf("%s/%s: produced %v vs %v", name, ra[i].Query, ra[i].Produced, rb[i].Produced)
+			}
+			if ra[i].Rows != rb[i].Rows {
+				t.Errorf("%s/%s: rows %d vs %d", name, ra[i].Query, ra[i].Rows, rb[i].Rows)
+			}
+			if ra[i].TimedOut != rb[i].TimedOut {
+				t.Errorf("%s/%s: timeout decisions differ", name, ra[i].Query)
+			}
+		}
+	}
+}

@@ -1,0 +1,264 @@
+// Package harness runs the paper's evaluation (§6): it wraps every
+// optimization option behind one interface, executes benchmark suites under
+// wall-clock and tuple budgets, aggregates timeout/mean/median/max rows, and
+// prints each of the paper's tables and figures.
+package harness
+
+import (
+	"errors"
+	"time"
+
+	"monsoon/internal/core"
+	"monsoon/internal/cost"
+	"monsoon/internal/engine"
+	"monsoon/internal/mcts"
+	"monsoon/internal/opt"
+	"monsoon/internal/plan"
+	"monsoon/internal/prior"
+	"monsoon/internal/query"
+	"monsoon/internal/randx"
+	"monsoon/internal/skinner"
+	"monsoon/internal/stats"
+	"monsoon/internal/table"
+)
+
+// QuerySpec is one benchmark query bound to its dataset. Hand, when present,
+// is the hand-written best plan (OTT only).
+type QuerySpec struct {
+	Q    *query.Query
+	Cat  *table.Catalog
+	Hand *plan.Node
+}
+
+// Outcome reports one (option, query) run.
+type Outcome struct {
+	// Time is the measured wall time (optimization + statistics collection
+	// + execution; offline statistics excluded per the paper's rules).
+	Time time.Duration
+	// TimedOut marks a run that exceeded the deadline or tuple budget.
+	TimedOut bool
+	// Rows and Value describe the query result (valid when !TimedOut).
+	Rows  int
+	Value float64
+	// Produced is the total §4.4 cost paid (objects produced), including
+	// discarded work.
+	Produced float64
+	// MCTSTime, SigmaTime and ExecTime are the Monsoon component breakdown
+	// (Table 8); zero for other options.
+	MCTSTime, SigmaTime, ExecTime time.Duration
+	// Err carries non-budget failures (always a bug: surfaced, not hidden).
+	Err error
+}
+
+// Option is one §6.2.2 optimization strategy.
+type Option interface {
+	Name() string
+	// Run optimizes and executes the query, honoring timeout and maxTuples
+	// (0 disables either bound).
+	Run(spec QuerySpec, timeout time.Duration, maxTuples float64, seed int64) Outcome
+}
+
+// newBudget starts the measured window.
+func newBudget(timeout time.Duration, maxTuples float64) *engine.Budget {
+	b := &engine.Budget{MaxTuples: maxTuples}
+	if timeout > 0 {
+		b.Deadline = time.Now().Add(timeout)
+	}
+	return b
+}
+
+func finish(start time.Time, b *engine.Budget, err error, out Outcome) Outcome {
+	out.Time = time.Since(start)
+	out.Produced = b.Produced()
+	if err != nil {
+		if errors.Is(err, engine.ErrBudget) {
+			out.TimedOut = true
+		} else {
+			out.Err = err
+		}
+	}
+	return out
+}
+
+// planAndExec is the shared tail of every single-plan option.
+func planAndExec(spec QuerySpec, st *stats.Store, miss cost.MissFn,
+	start time.Time, b *engine.Budget) Outcome {
+	eng := engine.New(spec.Cat)
+	dv := &cost.Deriver{Q: spec.Q, St: st, Miss: miss}
+	tree, err := opt.BestPlan(spec.Q, dv)
+	if err != nil {
+		return finish(start, b, err, Outcome{})
+	}
+	rel, _, err := eng.ExecTree(spec.Q, tree, b)
+	if err != nil {
+		return finish(start, b, err, Outcome{})
+	}
+	v, err := engine.FinalAggregate(spec.Q, rel)
+	return finish(start, b, err, Outcome{Rows: rel.Count(), Value: v})
+}
+
+// Postgres is the full-statistics baseline (option 7): exact statistics
+// collected offline and not counted toward the measured time.
+type Postgres struct{}
+
+// Name implements Option.
+func (Postgres) Name() string { return "Postgres" }
+
+// Run implements Option.
+func (Postgres) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, _ int64) Outcome {
+	st := opt.CollectFullStats(spec.Q, spec.Cat) // offline, untimed
+	start := time.Now()
+	b := newBudget(timeout, maxTuples)
+	return planAndExec(spec, st, cost.DefaultMiss(0.1), start, b)
+}
+
+// Defaults optimizes with the magic constant d = 0.1·c (option 4).
+type Defaults struct{}
+
+// Name implements Option.
+func (Defaults) Name() string { return "Defaults" }
+
+// Run implements Option.
+func (Defaults) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, _ int64) Outcome {
+	start := time.Now()
+	b := newBudget(timeout, maxTuples)
+	st := stats.New()
+	engine.New(spec.Cat).SeedBaseStats(spec.Q, st)
+	return planAndExec(spec, st, cost.DefaultMiss(0.1), start, b)
+}
+
+// Greedy is the size-only left-deep heuristic (option 3).
+type Greedy struct{}
+
+// Name implements Option.
+func (Greedy) Name() string { return "Greedy" }
+
+// Run implements Option.
+func (Greedy) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, _ int64) Outcome {
+	start := time.Now()
+	b := newBudget(timeout, maxTuples)
+	st := stats.New()
+	eng := engine.New(spec.Cat)
+	eng.SeedBaseStats(spec.Q, st)
+	tree, err := opt.GreedyPlan(spec.Q, st)
+	if err != nil {
+		return finish(start, b, err, Outcome{})
+	}
+	rel, _, err := eng.ExecTree(spec.Q, tree, b)
+	if err != nil {
+		return finish(start, b, err, Outcome{})
+	}
+	v, err := engine.FinalAggregate(spec.Q, rel)
+	return finish(start, b, err, Outcome{Rows: rel.Count(), Value: v})
+}
+
+// OnDemand computes HLL statistics after the query is issued (option 1),
+// paying the scan before optimizing.
+type OnDemand struct{}
+
+// Name implements Option.
+func (OnDemand) Name() string { return "On Demand" }
+
+// Run implements Option.
+func (OnDemand) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, _ int64) Outcome {
+	start := time.Now()
+	b := newBudget(timeout, maxTuples)
+	eng := engine.New(spec.Cat)
+	st, err := opt.CollectOnDemand(spec.Q, eng, b)
+	if err != nil {
+		return finish(start, b, err, Outcome{})
+	}
+	return planAndExec(spec, st, cost.DefaultMiss(0.1), start, b)
+}
+
+// Sampling is the block-sampling + GEE option (option 2).
+type Sampling struct {
+	Cfg opt.SamplingConfig
+}
+
+// Name implements Option.
+func (Sampling) Name() string { return "Sampling" }
+
+// Run implements Option.
+func (s Sampling) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, seed int64) Outcome {
+	start := time.Now()
+	b := newBudget(timeout, maxTuples)
+	eng := engine.New(spec.Cat)
+	st, err := opt.CollectSampling(spec.Q, eng, b, s.Cfg, randx.New(randx.Derive(seed, "sampling")))
+	if err != nil {
+		return finish(start, b, err, Outcome{})
+	}
+	return planAndExec(spec, st, cost.DefaultMiss(0.1), start, b)
+}
+
+// Skinner is the Skinner-G stand-in (option 5).
+type Skinner struct {
+	Cfg skinner.Config
+}
+
+// Name implements Option.
+func (Skinner) Name() string { return "SkinnerDB" }
+
+// Run implements Option.
+func (s Skinner) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, seed int64) Outcome {
+	start := time.Now()
+	b := newBudget(timeout, maxTuples)
+	cfg := s.Cfg
+	cfg.Seed = seed
+	eng := engine.New(spec.Cat)
+	res, err := skinner.Run(spec.Q, eng, b, cfg)
+	out := Outcome{Rows: res.Rows, Value: res.Value}
+	return finish(start, b, err, out)
+}
+
+// Monsoon is the paper's optimizer (option 6).
+type Monsoon struct {
+	Prior      prior.Prior
+	Strategy   mcts.Strategy
+	Iterations int
+}
+
+// Name implements Option.
+func (m Monsoon) Name() string {
+	if m.Prior != nil && m.Prior.Name() != prior.Default().Name() {
+		return "Monsoon(" + m.Prior.Name() + ")"
+	}
+	return "Monsoon"
+}
+
+// Run implements Option.
+func (m Monsoon) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, seed int64) Outcome {
+	start := time.Now()
+	b := newBudget(timeout, maxTuples)
+	eng := engine.New(spec.Cat)
+	res, err := core.Run(spec.Q, eng, b, core.Config{
+		Prior:      m.Prior,
+		Strategy:   m.Strategy,
+		Iterations: m.Iterations,
+		Seed:       seed,
+	})
+	out := Outcome{
+		Rows: res.Rows, Value: res.Value,
+		MCTSTime: res.PlanTime, SigmaTime: res.SigmaTime, ExecTime: res.ExecTime,
+	}
+	return finish(start, b, err, out)
+}
+
+// HandWritten executes the spec's hand-written plan (the OTT baseline row).
+type HandWritten struct{}
+
+// Name implements Option.
+func (HandWritten) Name() string { return "Hand-written" }
+
+// Run implements Option.
+func (HandWritten) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, _ int64) Outcome {
+	start := time.Now()
+	b := newBudget(timeout, maxTuples)
+	eng := engine.New(spec.Cat)
+	rel, _, err := eng.ExecTree(spec.Q, spec.Hand, b)
+	if err != nil {
+		return finish(start, b, err, Outcome{})
+	}
+	v, err := engine.FinalAggregate(spec.Q, rel)
+	return finish(start, b, err, Outcome{Rows: rel.Count(), Value: v})
+}

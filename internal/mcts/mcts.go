@@ -1,0 +1,301 @@
+// Package mcts is the online MDP solver of §5.1: Monte-Carlo tree search
+// with two selection strategies — UCT (upper confidence bound for trees,
+// w = √2, rewards min-max normalized to [0,1]) and adaptive ε-greedy
+// (ε decaying 1 → 0.1 with iteration progress).
+//
+// Transitions may be stochastic (the EXECUTE action of the Monsoon MDP):
+// the tree keeps a chance layer under each such action, keyed by the
+// successor state's OutcomeKey, so that recurring sampled outcomes — e.g.
+// the atoms of a spike-and-slab prior — share and refine one subtree.
+package mcts
+
+import (
+	"math"
+	"math/rand"
+)
+
+// State is an MDP state as seen by the planner.
+type State interface {
+	// Terminal reports whether the episode is over.
+	Terminal() bool
+	// OutcomeKey buckets this state among the possible outcomes of a
+	// stochastic transition; it only needs to discriminate between
+	// materially different sampled worlds.
+	OutcomeKey() string
+}
+
+// Action is an MDP action; Key must uniquely identify it within its state.
+type Action interface {
+	Key() string
+}
+
+// Model is the MDP simulator MCTS plans against.
+type Model interface {
+	// Legal enumerates the actions available in s; empty means terminal or
+	// stuck (treated as terminal).
+	Legal(s State) []Action
+	// Step simulates taking a in s. It must not mutate s. stochastic
+	// reports whether the transition sampled randomness (a chance node).
+	Step(s State, a Action) (next State, reward float64, stochastic bool)
+}
+
+// RolloutModel lets a model bias the default-policy phase; without it,
+// rollouts pick uniformly among legal actions.
+type RolloutModel interface {
+	RolloutAction(s State, rng *rand.Rand) Action
+}
+
+// Strategy selects among the two §5.1 selection strategies.
+type Strategy uint8
+
+// The selection strategies.
+const (
+	UCT Strategy = iota
+	EpsGreedy
+)
+
+// Config parameterizes a Planner.
+type Config struct {
+	// Strategy picks the selection rule; default UCT.
+	Strategy Strategy
+	// W is the UCT exploration weight; default √2.
+	W float64
+	// Iterations is the rollout budget per planning call; default 1000.
+	Iterations int
+	// MaxDepth caps simulation length as a safety net; default 200.
+	MaxDepth int
+	// EpsMin is the ε-greedy floor; default 0.1.
+	EpsMin float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.W == 0 {
+		c.W = math.Sqrt2
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 1000
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 200
+	}
+	if c.EpsMin == 0 {
+		c.EpsMin = 0.1
+	}
+	return c
+}
+
+// Planner runs MCTS. It is not safe for concurrent use.
+type Planner struct {
+	cfg Config
+	rng *rand.Rand
+
+	minRet, maxRet float64
+	haveRet        bool
+}
+
+// New creates a planner with the given configuration and randomness.
+func New(cfg Config, rng *rand.Rand) *Planner {
+	return &Planner{cfg: cfg.withDefaults(), rng: rng}
+}
+
+type edge struct {
+	action Action
+	visits int
+	total  float64
+	kids   map[string]*node // outcome key → successor decision node
+}
+
+type node struct {
+	state   State
+	actions []Action
+	edges   []*edge
+	visits  int
+}
+
+func (p *Planner) newNode(m Model, s State) *node {
+	n := &node{state: s}
+	if !s.Terminal() {
+		n.actions = m.Legal(s)
+		n.edges = make([]*edge, len(n.actions))
+	}
+	return n
+}
+
+// Plan runs the configured number of iterations from root and returns the
+// action with the best average return, or nil if root is terminal/stuck.
+func (p *Planner) Plan(m Model, root State) Action {
+	rootNode := p.newNode(m, root)
+	if len(rootNode.actions) == 0 {
+		return nil
+	}
+	if len(rootNode.actions) == 1 {
+		return rootNode.actions[0]
+	}
+	p.minRet, p.maxRet, p.haveRet = 0, 0, false
+	for i := 0; i < p.cfg.Iterations; i++ {
+		p.simulate(m, rootNode, 0, i)
+	}
+	best := -1
+	bestVal := math.Inf(-1)
+	for i, e := range rootNode.edges {
+		if e == nil || e.visits == 0 {
+			continue
+		}
+		v := e.total / float64(e.visits)
+		if v > bestVal {
+			bestVal = v
+			best = i
+		}
+	}
+	if best < 0 {
+		return rootNode.actions[0]
+	}
+	return rootNode.actions[best]
+}
+
+// simulate runs one selection→expansion→rollout→backpropagation pass and
+// returns the cumulative return observed from n downward.
+func (p *Planner) simulate(m Model, n *node, depth, iter int) float64 {
+	if n.state.Terminal() || len(n.actions) == 0 || depth >= p.cfg.MaxDepth {
+		return 0
+	}
+	idx := p.selectEdge(n, iter)
+	freshlyExpanded := false
+	if n.edges[idx] == nil {
+		n.edges[idx] = &edge{action: n.actions[idx], kids: make(map[string]*node)}
+		freshlyExpanded = true
+	}
+	e := n.edges[idx]
+	next, reward, _ := m.Step(n.state, e.action)
+	key := next.OutcomeKey()
+	child, ok := e.kids[key]
+	if !ok {
+		child = p.newNode(m, next)
+		e.kids[key] = child
+	}
+	var ret float64
+	if freshlyExpanded {
+		ret = reward + p.rollout(m, next, depth+1)
+	} else {
+		ret = reward + p.simulate(m, child, depth+1, iter)
+	}
+	e.visits++
+	e.total += ret
+	n.visits++
+	child.visits++
+	p.observe(ret)
+	return ret
+}
+
+// rollout plays the default policy to a terminal state.
+func (p *Planner) rollout(m Model, s State, depth int) float64 {
+	total := 0.0
+	rm, biased := m.(RolloutModel)
+	for !s.Terminal() && depth < p.cfg.MaxDepth {
+		var a Action
+		if biased {
+			a = rm.RolloutAction(s, p.rng)
+		} else {
+			legal := m.Legal(s)
+			if len(legal) == 0 {
+				break
+			}
+			a = legal[p.rng.Intn(len(legal))]
+		}
+		if a == nil {
+			break
+		}
+		next, reward, _ := m.Step(s, a)
+		total += reward
+		s = next
+		depth++
+	}
+	return total
+}
+
+func (p *Planner) observe(ret float64) {
+	if !p.haveRet {
+		p.minRet, p.maxRet, p.haveRet = ret, ret, true
+		return
+	}
+	if ret < p.minRet {
+		p.minRet = ret
+	}
+	if ret > p.maxRet {
+		p.maxRet = ret
+	}
+}
+
+// normalize maps a return into [0,1] using the running min/max.
+func (p *Planner) normalize(ret float64) float64 {
+	if !p.haveRet || p.maxRet == p.minRet {
+		return 0.5
+	}
+	return (ret - p.minRet) / (p.maxRet - p.minRet)
+}
+
+func (p *Planner) selectEdge(n *node, iter int) int {
+	switch p.cfg.Strategy {
+	case EpsGreedy:
+		return p.selectEpsGreedy(n, iter)
+	default:
+		return p.selectUCT(n)
+	}
+}
+
+// selectUCT returns an unvisited edge if any (expansion), else the UCB1
+// maximizer r̄ + w·√(ln v_p / v_c).
+func (p *Planner) selectUCT(n *node) int {
+	for i, e := range n.edges {
+		if e == nil || e.visits == 0 {
+			return i
+		}
+	}
+	best, bestVal := 0, math.Inf(-1)
+	lnP := math.Log(float64(n.visits) + 1)
+	for i, e := range n.edges {
+		exploit := p.normalize(e.total / float64(e.visits))
+		explore := p.cfg.W * math.Sqrt(lnP/float64(e.visits))
+		if v := exploit + explore; v > bestVal {
+			bestVal = v
+			best = i
+		}
+	}
+	return best
+}
+
+// selectEpsGreedy explores with probability ε (decayed exponentially from 1
+// toward EpsMin over the iteration budget, after [40]) and exploits the best
+// average return otherwise. Unvisited edges are preferred while exploring.
+func (p *Planner) selectEpsGreedy(n *node, iter int) int {
+	eps := math.Exp(-4 * float64(iter) / float64(p.cfg.Iterations))
+	if eps < p.cfg.EpsMin {
+		eps = p.cfg.EpsMin
+	}
+	if p.rng.Float64() < eps {
+		var unvisited []int
+		for i, e := range n.edges {
+			if e == nil || e.visits == 0 {
+				unvisited = append(unvisited, i)
+			}
+		}
+		if len(unvisited) > 0 {
+			return unvisited[p.rng.Intn(len(unvisited))]
+		}
+		return p.rng.Intn(len(n.edges))
+	}
+	best, bestVal := -1, math.Inf(-1)
+	for i, e := range n.edges {
+		if e == nil || e.visits == 0 {
+			continue
+		}
+		if v := e.total / float64(e.visits); v > bestVal {
+			bestVal = v
+			best = i
+		}
+	}
+	if best < 0 {
+		return p.rng.Intn(len(n.edges))
+	}
+	return best
+}

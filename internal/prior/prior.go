@@ -1,0 +1,204 @@
+// Package prior implements the seven general-purpose priors of §5.2 over the
+// number of distinct values d(F, r|s), each conditioned on the cardinalities
+// c(r) and c(s) of the expression the term is evaluated over and its join
+// partner. The paper's experiments (Table 2) compare all seven and choose
+// Spike-and-Slab as the default.
+package prior
+
+import (
+	"math"
+	"math/rand"
+
+	"monsoon/internal/randx"
+)
+
+// Prior models uncertainty over a distinct-value count in [1, cr].
+type Prior interface {
+	// Name identifies the prior in experiment output.
+	Name() string
+	// Sample draws d(F, r|s) given c(r) and c(s).
+	Sample(rng *rand.Rand, cr, cs float64) float64
+	// Mean returns E[d(F, r|s)] given c(r) and c(s). Decision policies that
+	// must act *without* knowledge of the sampled world (the MCTS default
+	// rollout policy) estimate with the mean; sampling there would leak the
+	// world's hidden statistics into supposedly blind plans.
+	Mean(cr, cs float64) float64
+}
+
+func ceilClamp(x, cr float64) float64 {
+	d := math.Ceil(x)
+	if d < 1 {
+		d = 1
+	}
+	if cr >= 1 && d > cr {
+		d = cr
+	}
+	return d
+}
+
+// Uniform assumes the distinct count is uniform on {1..c(r)}.
+type Uniform struct{}
+
+// Name implements Prior.
+func (Uniform) Name() string { return "Uniform" }
+
+// Sample implements Prior.
+func (Uniform) Sample(rng *rand.Rand, cr, _ float64) float64 {
+	if cr <= 1 {
+		return 1
+	}
+	return ceilClamp(rng.Float64()*cr, cr)
+}
+
+// Mean implements Prior.
+func (Uniform) Mean(cr, _ float64) float64 { return ceilClamp(cr/2, cr) }
+
+// Increasing is the optimistic prior: Beta(3,1)-shaped mass near c(r),
+// assuming UDFs return many distinct values and queries return few results.
+type Increasing struct{}
+
+// Name implements Prior.
+func (Increasing) Name() string { return "Increasing" }
+
+// Sample implements Prior.
+func (Increasing) Sample(rng *rand.Rand, cr, _ float64) float64 {
+	return ceilClamp(randx.Beta(rng, 3, 1)*cr, cr)
+}
+
+// Mean implements Prior.
+func (Increasing) Mean(cr, _ float64) float64 { return ceilClamp(0.75*cr, cr) }
+
+// Decreasing is the pessimistic prior: Beta(1,3)-shaped mass near 1, assuming
+// few distinct values and very large results.
+type Decreasing struct{}
+
+// Name implements Prior.
+func (Decreasing) Name() string { return "Decreasing" }
+
+// Sample implements Prior.
+func (Decreasing) Sample(rng *rand.Rand, cr, _ float64) float64 {
+	return ceilClamp(randx.Beta(rng, 1, 3)*cr, cr)
+}
+
+// Mean implements Prior.
+func (Decreasing) Mean(cr, _ float64) float64 { return ceilClamp(0.25*cr, cr) }
+
+// UShaped assumes distinct counts are either low or high: Beta(0.5, 0.5).
+type UShaped struct{}
+
+// Name implements Prior.
+func (UShaped) Name() string { return "U-Shaped" }
+
+// Sample implements Prior.
+func (UShaped) Sample(rng *rand.Rand, cr, _ float64) float64 {
+	return ceilClamp(randx.Beta(rng, 0.5, 0.5)*cr, cr)
+}
+
+// Mean implements Prior.
+func (UShaped) Mean(cr, _ float64) float64 { return ceilClamp(0.5*cr, cr) }
+
+// LowBiased is a moderated pessimist: Beta(2, 10), low but not tiny.
+type LowBiased struct{}
+
+// Name implements Prior.
+func (LowBiased) Name() string { return "Low Biased" }
+
+// Sample implements Prior.
+func (LowBiased) Sample(rng *rand.Rand, cr, _ float64) float64 {
+	return ceilClamp(randx.Beta(rng, 2, 10)*cr, cr)
+}
+
+// Mean implements Prior.
+func (LowBiased) Mean(cr, _ float64) float64 { return ceilClamp(cr/6, cr) }
+
+// SpikeAndSlab is the paper's recommended prior: an 80% uniform slab plus two
+// 10% spikes at the foreign-key cases — d = c(r) (the term is a key of r,
+// i.e. a foreign-key join from s into r) and d = c(s) (a foreign-key join
+// from r into s).
+type SpikeAndSlab struct{}
+
+// Name implements Prior.
+func (SpikeAndSlab) Name() string { return "Spike and Slab" }
+
+// Sample implements Prior.
+func (SpikeAndSlab) Sample(rng *rand.Rand, cr, cs float64) float64 {
+	u := rng.Float64()
+	switch {
+	case u < 0.10:
+		return ceilClamp(cr, cr)
+	case u < 0.20:
+		return ceilClamp(cs, cr)
+	default:
+		return Uniform{}.Sample(rng, cr, cs)
+	}
+}
+
+// Mean implements Prior.
+func (SpikeAndSlab) Mean(cr, cs float64) float64 {
+	slab := 0.8 * cr / 2
+	spikeR := 0.1 * cr
+	spikeS := 0.1 * math.Min(cs, cr)
+	return ceilClamp(slab+spikeR+spikeS, cr)
+}
+
+// Discrete is the deterministic rule d = 0.1·c(r) ([14]'s discrete prior with
+// one atom; also the magic constant behind the Defaults baseline).
+type Discrete struct{}
+
+// Name implements Prior.
+func (Discrete) Name() string { return "Discrete" }
+
+// Sample implements Prior.
+func (Discrete) Sample(_ *rand.Rand, cr, _ float64) float64 {
+	return ceilClamp(0.1*cr, cr)
+}
+
+// Mean implements Prior.
+func (Discrete) Mean(cr, _ float64) float64 { return ceilClamp(0.1*cr, cr) }
+
+// All returns the seven priors in the order of Table 2.
+func All() []Prior {
+	return []Prior{Uniform{}, Increasing{}, Decreasing{}, UShaped{}, LowBiased{}, SpikeAndSlab{}, Discrete{}}
+}
+
+// ByName resolves a prior by its Table 2 name; it returns nil when unknown.
+func ByName(name string) Prior {
+	for _, p := range All() {
+		if p.Name() == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// Default returns the prior the paper recommends (Spike and Slab).
+func Default() Prior { return SpikeAndSlab{} }
+
+// Density evaluates the continuous density (in normalized x = d/c(r) space)
+// of the five smooth priors plotted in Figure 2. Spike components are not
+// representable in a density plot and are reported by SpikeMass instead.
+// Priors without a smooth density (Discrete) return 0 everywhere.
+func Density(p Prior, x float64) float64 {
+	switch p.(type) {
+	case Uniform:
+		if x > 0 && x < 1 {
+			return 1
+		}
+		return 0
+	case Increasing:
+		return randx.BetaPDF(x, 3, 1)
+	case Decreasing:
+		return randx.BetaPDF(x, 1, 3)
+	case UShaped:
+		return randx.BetaPDF(x, 0.5, 0.5)
+	case LowBiased:
+		return randx.BetaPDF(x, 2, 10)
+	case SpikeAndSlab:
+		if x > 0 && x < 1 {
+			return 0.8
+		}
+		return 0
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,213 @@
+package prior
+
+import (
+	"math"
+	"testing"
+
+	"monsoon/internal/randx"
+)
+
+func TestAllSevenPresent(t *testing.T) {
+	ps := All()
+	if len(ps) != 7 {
+		t.Fatalf("All() = %d priors, want 7", len(ps))
+	}
+	names := map[string]bool{}
+	for _, p := range ps {
+		names[p.Name()] = true
+	}
+	for _, want := range []string{"Uniform", "Increasing", "Decreasing", "U-Shaped",
+		"Low Biased", "Spike and Slab", "Discrete"} {
+		if !names[want] {
+			t.Errorf("missing prior %q", want)
+		}
+	}
+}
+
+func TestByNameAndDefault(t *testing.T) {
+	if ByName("Uniform") == nil || ByName("nope") != nil {
+		t.Error("ByName wrong")
+	}
+	if Default().Name() != "Spike and Slab" {
+		t.Error("Default must be Spike and Slab")
+	}
+}
+
+func TestSamplesInRange(t *testing.T) {
+	rng := randx.New(3)
+	for _, p := range All() {
+		for i := 0; i < 2000; i++ {
+			cr := float64(1 + rng.Intn(10000))
+			cs := float64(1 + rng.Intn(10000))
+			d := p.Sample(rng, cr, cs)
+			if d < 1 || d > cr {
+				t.Fatalf("%s sampled %v outside [1, %v]", p.Name(), d, cr)
+			}
+			if d != math.Ceil(d) {
+				t.Fatalf("%s sampled non-integer %v", p.Name(), d)
+			}
+		}
+	}
+}
+
+func TestDegenerateCardinalities(t *testing.T) {
+	rng := randx.New(5)
+	for _, p := range All() {
+		if d := p.Sample(rng, 1, 1); d != 1 {
+			t.Errorf("%s with cr=1 must return 1, got %v", p.Name(), d)
+		}
+	}
+}
+
+func TestShapesViaMeans(t *testing.T) {
+	rng := randx.New(7)
+	cr, cs := 10000.0, 500.0
+	mean := func(p Prior) float64 {
+		sum := 0.0
+		n := 40000
+		for i := 0; i < n; i++ {
+			sum += p.Sample(rng, cr, cs)
+		}
+		return sum / float64(n)
+	}
+	mUnif := mean(Uniform{})
+	if math.Abs(mUnif-cr/2) > 0.03*cr {
+		t.Errorf("Uniform mean = %v, want ~%v", mUnif, cr/2)
+	}
+	mInc := mean(Increasing{})
+	if math.Abs(mInc-0.75*cr) > 0.03*cr {
+		t.Errorf("Increasing mean = %v, want ~%v", mInc, 0.75*cr)
+	}
+	mDec := mean(Decreasing{})
+	if math.Abs(mDec-0.25*cr) > 0.03*cr {
+		t.Errorf("Decreasing mean = %v, want ~%v", mDec, 0.25*cr)
+	}
+	mLow := mean(LowBiased{})
+	if math.Abs(mLow-cr/6) > 0.03*cr {
+		t.Errorf("LowBiased mean = %v, want ~%v", mLow, cr/6)
+	}
+	if mInc <= mUnif || mUnif <= mDec || mDec <= mLow {
+		t.Errorf("ordering violated: inc=%v unif=%v dec=%v low=%v", mInc, mUnif, mDec, mLow)
+	}
+}
+
+func TestUShapedBimodal(t *testing.T) {
+	rng := randx.New(9)
+	cr := 1000.0
+	low, high, mid := 0, 0, 0
+	n := 30000
+	for i := 0; i < n; i++ {
+		d := (UShaped{}).Sample(rng, cr, cr)
+		switch {
+		case d < 0.1*cr:
+			low++
+		case d > 0.9*cr:
+			high++
+		case d > 0.45*cr && d < 0.55*cr:
+			mid++
+		}
+	}
+	if low <= mid || high <= mid {
+		t.Errorf("U-shaped not bimodal: low=%d mid=%d high=%d", low, mid, high)
+	}
+}
+
+func TestSpikeAndSlabAtoms(t *testing.T) {
+	rng := randx.New(11)
+	cr, cs := 10000.0, 137.0
+	atCr, atCs := 0, 0
+	n := 50000
+	for i := 0; i < n; i++ {
+		d := (SpikeAndSlab{}).Sample(rng, cr, cs)
+		if d == cr {
+			atCr++
+		}
+		if d == cs {
+			atCs++
+		}
+	}
+	// Each spike carries 10% mass (plus negligible slab mass at those atoms).
+	if p := float64(atCr) / float64(n); math.Abs(p-0.10) > 0.01 {
+		t.Errorf("P(d = c(r)) = %v, want ~0.10", p)
+	}
+	if p := float64(atCs) / float64(n); math.Abs(p-0.10) > 0.01 {
+		t.Errorf("P(d = c(s)) = %v, want ~0.10", p)
+	}
+}
+
+func TestSpikeAndSlabClampsForeignSpike(t *testing.T) {
+	// When c(s) > c(r) the c(s) spike must clamp to c(r).
+	rng := randx.New(13)
+	for i := 0; i < 2000; i++ {
+		if d := (SpikeAndSlab{}).Sample(rng, 100, 5000); d > 100 {
+			t.Fatalf("spike exceeded c(r): %v", d)
+		}
+	}
+}
+
+func TestMeansMatchEmpiricalAverages(t *testing.T) {
+	rng := randx.New(77)
+	cr, cs := 10000.0, 300.0
+	for _, p := range All() {
+		n := 40000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += p.Sample(rng, cr, cs)
+		}
+		emp := sum / float64(n)
+		mean := p.Mean(cr, cs)
+		if math.Abs(emp-mean) > 0.03*cr+1 {
+			t.Errorf("%s: Mean() = %v but empirical average = %v", p.Name(), mean, emp)
+		}
+	}
+}
+
+func TestMeanBounds(t *testing.T) {
+	for _, p := range All() {
+		if m := p.Mean(1, 1); m != 1 {
+			t.Errorf("%s Mean(1,1) = %v, want 1", p.Name(), m)
+		}
+		if m := p.Mean(100, 1e9); m < 1 || m > 100 {
+			t.Errorf("%s Mean out of [1, cr]: %v", p.Name(), m)
+		}
+	}
+}
+
+func TestDiscreteDeterministic(t *testing.T) {
+	rng := randx.New(15)
+	if d := (Discrete{}).Sample(rng, 1000, 77); d != 100 {
+		t.Errorf("Discrete = %v, want 100", d)
+	}
+	if d := (Discrete{}).Sample(rng, 5, 1); d != 1 {
+		t.Errorf("Discrete of tiny table = %v, want 1 (ceil clamp)", d)
+	}
+}
+
+func TestDensities(t *testing.T) {
+	// The five plotted priors must have positive density inside (0,1); the
+	// uniform and spike-slab slabs must be flat.
+	for _, p := range []Prior{Uniform{}, Increasing{}, Decreasing{}, UShaped{}, LowBiased{}} {
+		if Density(p, 0.5) <= 0 {
+			t.Errorf("%s density at 0.5 must be positive", p.Name())
+		}
+		if Density(p, -0.1) != 0 || Density(p, 1.1) != 0 {
+			t.Errorf("%s density outside (0,1) must be 0", p.Name())
+		}
+	}
+	if Density(Uniform{}, 0.2) != Density(Uniform{}, 0.8) {
+		t.Error("uniform density must be flat")
+	}
+	if Density(SpikeAndSlab{}, 0.5) != 0.8 {
+		t.Error("spike-and-slab slab density must be 0.8")
+	}
+	if Density(Discrete{}, 0.5) != 0 {
+		t.Error("discrete prior has no smooth density")
+	}
+	// Increasing rises, Decreasing falls.
+	if Density(Increasing{}, 0.9) <= Density(Increasing{}, 0.1) {
+		t.Error("Increasing density must increase")
+	}
+	if Density(Decreasing{}, 0.9) >= Density(Decreasing{}, 0.1) {
+		t.Error("Decreasing density must decrease")
+	}
+}

@@ -1,0 +1,106 @@
+// Package query defines the logical query IR the optimizers plan over:
+// relations mounted under aliases, opaque function terms, join predicates of
+// the form F1(...) = F2(...) (each side possibly spanning several aliases —
+// a partially obscured, possibly multi-table predicate), selection predicates
+// F(...) = const, and the join graph derived from them.
+//
+// A central simplification the whole repository leans on: because every plan
+// eagerly applies every predicate that becomes applicable, the *result* of
+// executing any join tree is determined by the set of aliases it covers.
+// Expression identity — for materialization, for c(expr) statistics, and for
+// d(term, expr) statistics — is therefore the alias set, independent of join
+// order.
+package query
+
+import (
+	"sort"
+	"strings"
+)
+
+// AliasSet is an immutable sorted set of relation aliases. The zero value is
+// the empty set.
+type AliasSet struct {
+	names []string // sorted, unique
+}
+
+// NewAliasSet builds a set from the given names.
+func NewAliasSet(names ...string) AliasSet {
+	cp := make([]string, len(names))
+	copy(cp, names)
+	sort.Strings(cp)
+	out := cp[:0]
+	for i, n := range cp {
+		if i == 0 || n != cp[i-1] {
+			out = append(out, n)
+		}
+	}
+	return AliasSet{names: out}
+}
+
+// Key returns the canonical string form ("a+b+c"), used as a map key for
+// materialized expressions and statistics.
+func (s AliasSet) Key() string { return strings.Join(s.names, "+") }
+
+// Names returns the sorted member aliases. Callers must not mutate it.
+func (s AliasSet) Names() []string { return s.names }
+
+// Size returns the number of members.
+func (s AliasSet) Size() int { return len(s.names) }
+
+// Contains reports membership of a single alias.
+func (s AliasSet) Contains(a string) bool {
+	i := sort.SearchStrings(s.names, a)
+	return i < len(s.names) && s.names[i] == a
+}
+
+// SubsetOf reports whether every member of s is in o.
+func (s AliasSet) SubsetOf(o AliasSet) bool {
+	for _, n := range s.names {
+		if !o.Contains(n) {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether the two sets share any member.
+func (s AliasSet) Intersects(o AliasSet) bool {
+	for _, n := range s.names {
+		if o.Contains(n) {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports set equality.
+func (s AliasSet) Equal(o AliasSet) bool {
+	if len(s.names) != len(o.names) {
+		return false
+	}
+	for i := range s.names {
+		if s.names[i] != o.names[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns the set union.
+func (s AliasSet) Union(o AliasSet) AliasSet {
+	merged := make([]string, 0, len(s.names)+len(o.names))
+	merged = append(merged, s.names...)
+	merged = append(merged, o.names...)
+	return NewAliasSet(merged...)
+}
+
+// IsEmpty reports whether the set has no members.
+func (s AliasSet) IsEmpty() bool { return len(s.names) == 0 }
+
+// String renders the set for logs.
+func (s AliasSet) String() string {
+	if s.IsEmpty() {
+		return "{}"
+	}
+	return "{" + strings.Join(s.names, ",") + "}"
+}

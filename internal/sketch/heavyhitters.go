@@ -1,0 +1,84 @@
+package sketch
+
+import "sort"
+
+// SpaceSaving is the Metwally et al. heavy-hitters sketch: it tracks (up to)
+// k candidate hot values with approximate counts in O(k) space. The paper
+// notes (§2.2, §6.2.2) that full statistics systems also keep "heavy hitters
+// i.e., most common values with their frequencies" — pg_stats' MCV lists —
+// though its fair comparison restricts every option to distinct counts.
+// This sketch backs the estimate-quality extension experiments and is
+// available to downstream users building richer cost models.
+type SpaceSaving struct {
+	k      int
+	counts map[uint64]*ssEntry
+	total  int64
+}
+
+type ssEntry struct {
+	count int64
+	err   int64 // overestimation bound inherited from the evicted entry
+}
+
+// NewSpaceSaving creates a sketch tracking up to k values.
+func NewSpaceSaving(k int) *SpaceSaving {
+	if k <= 0 {
+		panic("sketch: SpaceSaving k must be positive")
+	}
+	return &SpaceSaving{k: k, counts: make(map[uint64]*ssEntry, k)}
+}
+
+// Add records one hashed item.
+func (s *SpaceSaving) Add(hash uint64) {
+	s.total++
+	if e, ok := s.counts[hash]; ok {
+		e.count++
+		return
+	}
+	if len(s.counts) < s.k {
+		s.counts[hash] = &ssEntry{count: 1}
+		return
+	}
+	// Evict the minimum-count entry; the newcomer inherits its count as the
+	// classic SpaceSaving overestimation bound.
+	var minHash uint64
+	var minEntry *ssEntry
+	for h, e := range s.counts {
+		if minEntry == nil || e.count < minEntry.count {
+			minHash, minEntry = h, e
+		}
+	}
+	delete(s.counts, minHash)
+	s.counts[hash] = &ssEntry{count: minEntry.count + 1, err: minEntry.count}
+}
+
+// HeavyHitter is one reported hot value.
+type HeavyHitter struct {
+	Hash uint64
+	// Count is the estimated frequency (an overestimate by at most Err).
+	Count int64
+	// Err bounds the overestimation.
+	Err int64
+}
+
+// Top returns the tracked values whose guaranteed count (Count - Err)
+// exceeds the given fraction of the stream, most frequent first.
+func (s *SpaceSaving) Top(minFraction float64) []HeavyHitter {
+	threshold := int64(minFraction * float64(s.total))
+	var out []HeavyHitter
+	for h, e := range s.counts {
+		if e.count-e.err >= threshold {
+			out = append(out, HeavyHitter{Hash: h, Count: e.count, Err: e.err})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Hash < out[j].Hash
+	})
+	return out
+}
+
+// Total reports how many items were added.
+func (s *SpaceSaving) Total() int64 { return s.total }

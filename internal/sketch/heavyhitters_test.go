@@ -1,0 +1,89 @@
+package sketch
+
+import (
+	"testing"
+
+	"monsoon/internal/randx"
+	"monsoon/internal/value"
+)
+
+func TestSpaceSavingExactWhenUnderCapacity(t *testing.T) {
+	s := NewSpaceSaving(10)
+	for i := 0; i < 5; i++ {
+		for j := 0; j <= i; j++ {
+			s.Add(value.Int(int64(i)).Hash())
+		}
+	}
+	if s.Total() != 15 {
+		t.Errorf("total = %d", s.Total())
+	}
+	top := s.Top(0)
+	if len(top) != 5 {
+		t.Fatalf("top = %d entries", len(top))
+	}
+	if top[0].Count != 5 || top[0].Err != 0 {
+		t.Errorf("hottest = %+v, want count 5 err 0", top[0])
+	}
+	if top[4].Count != 1 {
+		t.Errorf("coldest = %+v, want count 1", top[4])
+	}
+}
+
+func TestSpaceSavingFindsHeavyHittersUnderPressure(t *testing.T) {
+	rng := randx.New(3)
+	s := NewSpaceSaving(20)
+	// Two genuinely hot values drowned in uniform noise.
+	hotA := value.Int(100001).Hash()
+	hotB := value.Int(100002).Hash()
+	for i := 0; i < 30000; i++ {
+		switch {
+		case i%5 == 0:
+			s.Add(hotA)
+		case i%7 == 0:
+			s.Add(hotB)
+		default:
+			s.Add(value.Int(rng.Int63n(5000)).Hash())
+		}
+	}
+	top := s.Top(0.05)
+	found := map[uint64]bool{}
+	for _, h := range top {
+		found[h.Hash] = true
+	}
+	if !found[hotA] || !found[hotB] {
+		t.Errorf("hot values missing from %d reported hitters", len(top))
+	}
+	// Estimated frequency of hotA (~20%) must be sane: overestimates only,
+	// and not beyond the error bound.
+	for _, h := range top {
+		if h.Hash != hotA {
+			continue
+		}
+		trueCount := int64(30000 / 5)
+		if h.Count < trueCount {
+			t.Errorf("SpaceSaving must overestimate: got %d < %d", h.Count, trueCount)
+		}
+		if h.Count-h.Err > trueCount {
+			t.Errorf("guaranteed count %d exceeds the truth %d", h.Count-h.Err, trueCount)
+		}
+	}
+}
+
+func TestSpaceSavingBoundedMemory(t *testing.T) {
+	s := NewSpaceSaving(8)
+	for i := 0; i < 100000; i++ {
+		s.Add(value.Int(int64(i)).Hash())
+	}
+	if len(s.counts) > 8 {
+		t.Errorf("sketch grew past k: %d entries", len(s.counts))
+	}
+}
+
+func TestSpaceSavingPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSpaceSaving(0) must panic")
+		}
+	}()
+	NewSpaceSaving(0)
+}

@@ -1,0 +1,178 @@
+// Package stats implements the statistics store S of the MDP state (§4.1):
+// object counts c(expr) for materialized or hypothesized expressions, and
+// distinct-value counts d(term, expr | partner) for UDF terms. The store
+// distinguishes *measured* statistics (hardened by real execution, valid for
+// every partner) from *assumed* statistics (sampled from a prior during MCTS
+// simulation, valid only for the partner expression they were sampled
+// against — the paper's d(F, r|s) notation).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// RawKey returns the statistics key under which the *unfiltered* stored base
+// table mounted at alias is counted. The plain alias key ("R") always denotes
+// the RA expression over R with every applicable selection applied; the raw
+// key ("raw:R") is the input size, which is assumed known up front (§4.1:
+// "we assume that all input set sizes are available").
+func RawKey(alias string) string { return "raw:" + alias }
+
+// DKey identifies a measured distinct count: term ID over an expression.
+type DKey struct {
+	Term int
+	Expr string
+}
+
+// CKey identifies an assumed (prior-sampled) distinct count, conditioned on
+// the partner expression it would be joined with.
+type CKey struct {
+	Term    int
+	Expr    string
+	Partner string
+}
+
+// Store holds the statistics set S. It is a value-semantics-friendly
+// container: Clone produces an independent copy for MCTS rollouts.
+type Store struct {
+	counts   map[string]float64
+	measured map[DKey]float64
+	assumed  map[CKey]float64
+}
+
+// New creates an empty store.
+func New() *Store {
+	return &Store{
+		counts:   make(map[string]float64),
+		measured: make(map[DKey]float64),
+		assumed:  make(map[CKey]float64),
+	}
+}
+
+// Clone returns a deep copy.
+func (s *Store) Clone() *Store {
+	c := &Store{
+		counts:   make(map[string]float64, len(s.counts)),
+		measured: make(map[DKey]float64, len(s.measured)),
+		assumed:  make(map[CKey]float64, len(s.assumed)),
+	}
+	for k, v := range s.counts {
+		c.counts[k] = v
+	}
+	for k, v := range s.measured {
+		c.measured[k] = v
+	}
+	for k, v := range s.assumed {
+		c.assumed[k] = v
+	}
+	return c
+}
+
+// SetCount records c(expr).
+func (s *Store) SetCount(expr string, c float64) { s.counts[expr] = c }
+
+// Count looks up c(expr).
+func (s *Store) Count(expr string) (float64, bool) {
+	c, ok := s.counts[expr]
+	return c, ok
+}
+
+// SetMeasured records a hardened distinct count for (term, expr), valid for
+// any partner.
+func (s *Store) SetMeasured(term int, expr string, d float64) {
+	s.measured[DKey{Term: term, Expr: expr}] = d
+}
+
+// Measured looks up a hardened distinct count.
+func (s *Store) Measured(term int, expr string) (float64, bool) {
+	d, ok := s.measured[DKey{Term: term, Expr: expr}]
+	return d, ok
+}
+
+// SetAssumed records a prior-sampled distinct count for (term, expr) with
+// respect to a partner expression.
+func (s *Store) SetAssumed(term int, expr, partner string, d float64) {
+	s.assumed[CKey{Term: term, Expr: expr, Partner: partner}] = d
+}
+
+// Distinct resolves d(term, expr | partner): a measured value wins; otherwise
+// an assumed value for this exact partner; otherwise a miss.
+func (s *Store) Distinct(term int, expr, partner string) (float64, bool) {
+	if d, ok := s.measured[DKey{Term: term, Expr: expr}]; ok {
+		return d, true
+	}
+	if d, ok := s.assumed[CKey{Term: term, Expr: expr, Partner: partner}]; ok {
+		return d, true
+	}
+	return 0, false
+}
+
+// HasMeasured reports whether a hardened distinct count exists for the term
+// over the expression; Σ-usefulness checks rely on it.
+func (s *Store) HasMeasured(term int, expr string) bool {
+	_, ok := s.measured[DKey{Term: term, Expr: expr}]
+	return ok
+}
+
+// CountEntries reports how many expression cardinalities are known.
+func (s *Store) CountEntries() int { return len(s.counts) }
+
+// MeasuredEntries reports how many hardened distinct counts are known.
+func (s *Store) MeasuredEntries() int { return len(s.measured) }
+
+// AssumedEntries reports how many prior-sampled distinct counts are held.
+func (s *Store) AssumedEntries() int { return len(s.assumed) }
+
+// DropAssumed clears every prior-sampled entry. The Monsoon driver calls it
+// after each real EXECUTE so the next planning round starts from hardened
+// facts only.
+func (s *Store) DropAssumed() {
+	s.assumed = make(map[CKey]float64)
+}
+
+// BucketSignature renders the store with every value bucketed by log2,
+// deterministically ordered. MCTS uses it to key chance-node outcomes:
+// sampled worlds with materially different statistics split into different
+// subtrees, while near-identical ones (e.g. recurring spike-and-slab atoms)
+// share one.
+func (s *Store) BucketSignature() string {
+	lines := make([]string, 0, len(s.counts)+len(s.measured)+len(s.assumed))
+	for k, v := range s.counts {
+		lines = append(lines, fmt.Sprintf("c:%s:%d", k, logBucket(v)))
+	}
+	for k, v := range s.measured {
+		lines = append(lines, fmt.Sprintf("m:%d:%s:%d", k.Term, k.Expr, logBucket(v)))
+	}
+	for k, v := range s.assumed {
+		lines = append(lines, fmt.Sprintf("a:%d:%s:%s:%d", k.Term, k.Expr, k.Partner, logBucket(v)))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, ",")
+}
+
+func logBucket(x float64) int {
+	if x <= 0 {
+		return -1
+	}
+	return int(math.Floor(math.Log2(x + 1)))
+}
+
+// String renders the store content deterministically (sorted) for debugging
+// and golden tests.
+func (s *Store) String() string {
+	var lines []string
+	for k, v := range s.counts {
+		lines = append(lines, fmt.Sprintf("c(%s)=%.6g", k, v))
+	}
+	for k, v := range s.measured {
+		lines = append(lines, fmt.Sprintf("d[t%d](%s)=%.6g", k.Term, k.Expr, v))
+	}
+	for k, v := range s.assumed {
+		lines = append(lines, fmt.Sprintf("d~[t%d](%s|%s)=%.6g", k.Term, k.Expr, k.Partner, v))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounts(t *testing.T) {
+	s := New()
+	if _, ok := s.Count("R"); ok {
+		t.Error("empty store should miss")
+	}
+	s.SetCount("R", 1e6)
+	if c, ok := s.Count("R"); !ok || c != 1e6 {
+		t.Errorf("Count = %v,%v", c, ok)
+	}
+	if s.CountEntries() != 1 {
+		t.Error("CountEntries wrong")
+	}
+}
+
+func TestDistinctResolutionOrder(t *testing.T) {
+	s := New()
+	if _, ok := s.Distinct(0, "R", "S"); ok {
+		t.Error("should miss initially")
+	}
+	s.SetAssumed(0, "R", "S", 100)
+	if d, ok := s.Distinct(0, "R", "S"); !ok || d != 100 {
+		t.Errorf("assumed lookup = %v,%v", d, ok)
+	}
+	// Assumed is partner-specific.
+	if _, ok := s.Distinct(0, "R", "T"); ok {
+		t.Error("assumed stat must not apply to other partners")
+	}
+	// Measured overrides assumed for every partner.
+	s.SetMeasured(0, "R", 777)
+	if d, _ := s.Distinct(0, "R", "S"); d != 777 {
+		t.Error("measured must win over assumed")
+	}
+	if d, ok := s.Distinct(0, "R", "T"); !ok || d != 777 {
+		t.Error("measured must apply to all partners")
+	}
+	if !s.HasMeasured(0, "R") || s.HasMeasured(1, "R") || s.HasMeasured(0, "S") {
+		t.Error("HasMeasured wrong")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := New()
+	s.SetCount("R", 5)
+	s.SetMeasured(0, "R", 2)
+	s.SetAssumed(1, "R", "S", 3)
+	c := s.Clone()
+	c.SetCount("R", 99)
+	c.SetMeasured(0, "R", 99)
+	c.SetAssumed(1, "R", "S", 99)
+	c.SetCount("NEW", 1)
+	if v, _ := s.Count("R"); v != 5 {
+		t.Error("clone mutated original count")
+	}
+	if v, _ := s.Measured(0, "R"); v != 2 {
+		t.Error("clone mutated original measured")
+	}
+	if v, _ := s.Distinct(1, "R", "S"); v != 3 {
+		t.Error("clone mutated original assumed")
+	}
+	if _, ok := s.Count("NEW"); ok {
+		t.Error("clone additions leaked to original")
+	}
+}
+
+func TestDropAssumed(t *testing.T) {
+	s := New()
+	s.SetAssumed(0, "R", "S", 10)
+	s.SetMeasured(0, "R", 20)
+	s.DropAssumed()
+	if s.AssumedEntries() != 0 {
+		t.Error("DropAssumed left entries")
+	}
+	if d, ok := s.Distinct(0, "R", "S"); !ok || d != 20 {
+		t.Error("measured entries must survive DropAssumed")
+	}
+}
+
+func TestEntriesCounters(t *testing.T) {
+	s := New()
+	s.SetMeasured(0, "A", 1)
+	s.SetMeasured(1, "A", 1)
+	s.SetAssumed(0, "A", "B", 1)
+	if s.MeasuredEntries() != 2 || s.AssumedEntries() != 1 {
+		t.Errorf("entries = %d/%d", s.MeasuredEntries(), s.AssumedEntries())
+	}
+}
+
+func TestBucketSignature(t *testing.T) {
+	s := New()
+	s.SetCount("R", 1000)
+	s.SetMeasured(0, "R", 500)
+	s.SetAssumed(1, "S", "R", 7)
+	sig := s.BucketSignature()
+	if sig != s.BucketSignature() {
+		t.Error("signature must be deterministic")
+	}
+	// Values in the same log2 bucket share a signature...
+	t1 := New()
+	t1.SetCount("R", 1000)
+	t2 := New()
+	t2.SetCount("R", 900)
+	if t1.BucketSignature() != t2.BucketSignature() {
+		t.Error("values in one log2 bucket must share signatures")
+	}
+	// ...values in very different buckets split.
+	t3 := New()
+	t3.SetCount("R", 1e6)
+	if t1.BucketSignature() == t3.BucketSignature() {
+		t.Error("distant values must split signatures")
+	}
+	// Zero and negative magnitudes are representable.
+	z := New()
+	z.SetCount("E", 0)
+	if z.BucketSignature() == "" || !strings.Contains(z.BucketSignature(), "-1") {
+		t.Errorf("zero count signature wrong: %q", z.BucketSignature())
+	}
+}
+
+func TestStringDeterministic(t *testing.T) {
+	s := New()
+	s.SetCount("R", 10)
+	s.SetCount("S", 20)
+	s.SetMeasured(0, "R", 5)
+	s.SetAssumed(1, "S", "R", 7)
+	a, b := s.String(), s.String()
+	if a != b {
+		t.Error("String must be deterministic")
+	}
+	for _, want := range []string{"c(R)=10", "c(S)=20", "d[t0](R)=5", "d~[t1](S|R)=7"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("String missing %q in:\n%s", want, a)
+		}
+	}
+}
