@@ -31,6 +31,7 @@ import (
 	"monsoon/internal/engine"
 	"monsoon/internal/expr"
 	"monsoon/internal/mcts"
+	"monsoon/internal/obs"
 	"monsoon/internal/prior"
 	"monsoon/internal/query"
 	"monsoon/internal/sqlish"
@@ -68,7 +69,30 @@ type (
 	// Result reports a completed Monsoon run, including the Table 8
 	// component breakdown.
 	Result = core.Result
+	// EventSink receives the structured observability stream of a run:
+	// spans, trace messages, and estimate-vs-actual records.
+	EventSink = obs.EventSink
+	// Event is one observability record delivered to an EventSink.
+	Event = obs.Event
+	// Span is one timed region of a traced run (MDP action or engine
+	// operator), with rows in/out and objects produced.
+	Span = obs.Span
+	// CardEstimate is one estimate-vs-actual cardinality record with its
+	// q-error, emitted at every EXECUTE for every executed plan node.
+	CardEstimate = obs.Estimate
+	// TraceCollector is an EventSink retaining everything in memory.
+	TraceCollector = obs.Collector
+	// MetricsRegistry accumulates counters, gauges, and histograms across
+	// runs; dump it with its Dump method.
+	MetricsRegistry = obs.Registry
 )
+
+// NewMetricsRegistry creates an empty metrics registry for WithMetrics.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewJSONLSink wraps a writer as an EventSink streaming one JSON object per
+// event line (the monsoon-cli --trace-json format).
+var NewJSONLSink = obs.NewJSONL
 
 // Value constructors.
 var (
@@ -224,6 +248,16 @@ func WithMaxTuples(n float64) RunOption { return func(c *runConfig) { c.maxTuple
 
 // WithTrace streams one line per real-world optimizer action.
 func WithTrace(fn func(string)) RunOption { return func(c *runConfig) { c.core.Trace = fn } }
+
+// WithEventSink streams the run's structured observability events (spans for
+// every MDP action and engine operator, trace messages, estimate-vs-actual
+// cardinality records) to sink. Composes with WithTrace.
+func WithEventSink(sink EventSink) RunOption { return func(c *runConfig) { c.core.Sink = sink } }
+
+// WithMetrics accumulates the run's counters and histograms (actions,
+// EXECUTE rounds, Σ operators, planning latency, per-join q-error) into reg,
+// which may be shared across runs.
+func WithMetrics(reg *MetricsRegistry) RunOption { return func(c *runConfig) { c.core.Metrics = reg } }
 
 // WithEpsilonGreedy switches MCTS from UCT to the adaptive ε-greedy
 // selection strategy (§5.1).

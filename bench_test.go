@@ -111,13 +111,35 @@ func BenchmarkTable8(b *testing.B) {
 
 // BenchmarkMonsoonSingleQuery measures one end-to-end Monsoon run (optimize +
 // execute) on the public-API quickstart shape — the per-query unit behind
-// every table row above.
+// every table row above. With no event sink or metrics registry attached
+// this is the observability layer's zero-cost guard: every instrumentation
+// site reduces to a nil-receiver call, so this benchmark must hold the
+// pre-instrumentation baseline (compare against BenchmarkMonsoonTraced to
+// see what tracing actually buys and costs).
 func BenchmarkMonsoonSingleQuery(b *testing.B) {
 	cat := buildWorld()
 	q := buildQuery()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Run(q, cat, WithSeed(int64(i)), WithIterations(100)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMonsoonTraced is the same run with the full observability stack
+// attached — in-memory span collection plus a shared metrics registry — to
+// make the instrumentation overhead directly comparable to the nil-sink
+// baseline above.
+func BenchmarkMonsoonTraced(b *testing.B) {
+	cat := buildWorld()
+	q := buildQuery()
+	reg := NewMetricsRegistry()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col := &TraceCollector{}
+		if _, err := Run(q, cat, WithSeed(int64(i)), WithIterations(100),
+			WithEventSink(col), WithMetrics(reg)); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -3,9 +3,11 @@
 //
 // Usage:
 //
-//	monsoon-bench [-scale tiny|small|medium] [-exp all|table1|table2|...|figure3] [-seed N] [-v]
+//	monsoon-bench [-scale tiny|small|medium] [-exp all|table1|table2|...|figure3] [-seed N] [-v] [-metrics] [-trace-json FILE]
 //
-// Output goes to stdout; progress (with -v) to stderr.
+// Output goes to stdout; progress (with -v) and the -metrics dump to stderr.
+// With -trace-json, every Monsoon run of the campaign streams its structured
+// trace (spans, messages, estimate records) to FILE as JSON lines.
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"os"
 
 	"monsoon/internal/harness"
+	"monsoon/internal/obs"
 )
 
 func main() {
@@ -22,6 +25,8 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: all, table1..table8, figure1..figure3, ablation, estimates")
 	seed := flag.Int64("seed", 1, "master seed")
 	verbose := flag.Bool("v", false, "print per-query progress to stderr")
+	metrics := flag.Bool("metrics", false, "dump the campaign's accumulated Monsoon metrics to stderr on exit")
+	traceJSON := flag.String("trace-json", "", "write the structured traces of the campaign's Monsoon runs as JSON lines to FILE")
 	flag.Parse()
 
 	var sc harness.Scale
@@ -43,6 +48,22 @@ func main() {
 		progress = os.Stderr
 	}
 	r := &harness.Runner{Scale: sc, Progress: progress}
+	if *metrics {
+		r.Metrics = obs.NewRegistry()
+		defer func() {
+			fmt.Fprintln(os.Stderr, "metrics (Monsoon runs of this campaign):")
+			r.Metrics.Dump(os.Stderr)
+		}()
+	}
+	if *traceJSON != "" {
+		f, err := os.Create(*traceJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cannot create trace file: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		r.Sink = obs.NewJSONL(f)
+	}
 	w := os.Stdout
 
 	type step struct {

@@ -1,10 +1,12 @@
 // Command monsoon-cli runs one benchmark query under one optimization option
 // and prints what happened — including, for Monsoon, the full trace of MDP
-// actions (plan edits, Σ statistics collections, EXECUTE rounds).
+// actions (plan edits, Σ statistics collections, EXECUTE rounds), an EXPLAIN
+// ANALYZE rendering of every tree the EXECUTE rounds materialized, and
+// optionally a JSONL span trace and a metrics dump.
 //
 // Usage:
 //
-//	monsoon-cli -bench tpch|imdb|ott|udf [-query NAME] [-opt monsoon|postgres|defaults|greedy|ondemand|sampling|skinner] [-prior NAME] [-scale tiny|small|medium] [-seed N]
+//	monsoon-cli -bench tpch|imdb|ott|udf [-query NAME] [-opt monsoon|postgres|defaults|greedy|ondemand|sampling|skinner] [-prior NAME] [-scale tiny|small|medium] [-seed N] [-trace-json FILE] [-metrics]
 //
 // Without -query, the available query names for the benchmark are listed.
 package main
@@ -23,6 +25,7 @@ import (
 	"monsoon/internal/cost"
 	"monsoon/internal/engine"
 	"monsoon/internal/harness"
+	"monsoon/internal/obs"
 	"monsoon/internal/opt"
 	"monsoon/internal/plan"
 	"monsoon/internal/prior"
@@ -37,6 +40,8 @@ func main() {
 	scaleName := flag.String("scale", "tiny", "data scale: tiny, small, or medium")
 	seed := flag.Int64("seed", 1, "seed")
 	explain := flag.Bool("explain", false, "print the chosen plan with estimates and actuals (postgres, defaults, greedy)")
+	traceJSON := flag.String("trace-json", "", "write the structured trace (spans, messages, estimates) as JSON lines to FILE")
+	metrics := flag.Bool("metrics", false, "dump the run's metrics registry to stderr")
 	flag.Parse()
 
 	var sc harness.Scale
@@ -70,15 +75,33 @@ func main() {
 		fail("query %q not in benchmark %s", *queryName, *benchName)
 	}
 
+	var jsonSink obs.EventSink
+	if *traceJSON != "" {
+		f, err := os.Create(*traceJSON)
+		if err != nil {
+			fail("cannot create trace file: %v", err)
+		}
+		defer f.Close()
+		jsonSink = obs.NewJSONL(f)
+	}
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+		defer func() {
+			fmt.Fprintln(os.Stderr, "metrics:")
+			reg.Dump(os.Stderr)
+		}()
+	}
+
 	if *optName == "monsoon" {
-		runMonsoonTraced(*spec, sc, *priorName)
+		runMonsoonTraced(*spec, sc, *priorName, jsonSink, reg)
 		return
 	}
 	if *explain {
-		runExplained(*spec, sc, *optName)
+		runExplained(*spec, sc, *optName, jsonSink)
 		return
 	}
-	o := pickOption(*optName, sc)
+	o := pickOption(*optName, sc, jsonSink)
 	out := o.Run(*spec, sc.Timeout, sc.MaxTuples, sc.Seed)
 	report(o.Name(), out)
 }
@@ -119,7 +142,7 @@ func loadSpecs(bench string, sc harness.Scale) []harness.QuerySpec {
 	}
 }
 
-func pickOption(name string, sc harness.Scale) harness.Option {
+func pickOption(name string, sc harness.Scale, sink obs.EventSink) harness.Option {
 	switch name {
 	case "postgres":
 		return harness.Postgres{}
@@ -128,9 +151,9 @@ func pickOption(name string, sc harness.Scale) harness.Option {
 	case "greedy":
 		return harness.Greedy{}
 	case "ondemand":
-		return harness.OnDemand{}
+		return harness.OnDemand{Sink: sink}
 	case "sampling":
-		return harness.Sampling{}
+		return harness.Sampling{Sink: sink}
 	case "skinner":
 		return harness.Skinner{}
 	case "lec":
@@ -143,7 +166,7 @@ func pickOption(name string, sc harness.Scale) harness.Option {
 	}
 }
 
-func runMonsoonTraced(spec harness.QuerySpec, sc harness.Scale, priorName string) {
+func runMonsoonTraced(spec harness.QuerySpec, sc harness.Scale, priorName string, sink obs.EventSink, reg *obs.Registry) {
 	p := prior.ByName(priorName)
 	if p == nil {
 		fail("unknown prior %q (Table 2 names, e.g. \"Spike and Slab\")", priorName)
@@ -151,12 +174,15 @@ func runMonsoonTraced(spec harness.QuerySpec, sc harness.Scale, priorName string
 	eng := engine.New(spec.Cat)
 	budget := &engine.Budget{MaxTuples: sc.MaxTuples, Deadline: time.Now().Add(sc.Timeout)}
 	fmt.Printf("Monsoon on %s (prior %s, %d MCTS iterations)\n", spec.Q.Name, p.Name(), sc.MCTSIterations)
+	col := &obs.Collector{}
 	start := time.Now()
 	res, err := core.Run(spec.Q, eng, budget, core.Config{
 		Prior:      p,
 		Iterations: sc.MCTSIterations,
 		Seed:       sc.Seed,
 		Trace:      func(s string) { fmt.Println("  " + s) },
+		Sink:       obs.Multi(col, sink),
+		Metrics:    reg,
 	})
 	if err != nil {
 		fail("run failed after %v: %v", time.Since(start), err)
@@ -165,6 +191,26 @@ func runMonsoonTraced(spec harness.QuerySpec, sc harness.Scale, priorName string
 	fmt.Printf("rounds: %d EXECUTEs, %d actions, %d Σ operators\n", res.Executes, res.Actions, res.SigmaOps)
 	fmt.Printf("breakdown: MCTS %v, Σ %v, execution %v; %.0f objects produced\n",
 		res.PlanTime, res.SigmaTime, res.ExecTime, res.Produced)
+
+	// EXPLAIN ANALYZE over the trees the EXECUTE rounds materialized, from
+	// the recorded estimate-vs-actual events (est = the prior's expectation
+	// frozen just before each round ran).
+	ests, actuals := map[string]float64{}, map[string]float64{}
+	times := map[string]time.Duration{}
+	for _, e := range col.Estimates {
+		ests[e.Expr], actuals[e.Expr] = e.Est, e.Actual
+		if e.Dur > 0 {
+			times[e.Expr] = e.Dur
+		}
+	}
+	if len(res.Executed) > 0 {
+		fmt.Println("\nEXPLAIN ANALYZE (executed trees, in order):")
+		for i, tree := range res.Executed {
+			fmt.Printf("-- tree %d --\n%s", i+1, cost.ExplainAnalyze(spec.Q, tree, ests, actuals, times))
+		}
+	}
+	fmt.Printf("trace: %d spans, %d trace lines, %d estimate records\n",
+		len(col.Spans), len(col.Messages), len(col.Estimates))
 }
 
 func report(name string, out harness.Outcome) {
@@ -186,8 +232,9 @@ func fail(format string, args ...any) {
 
 // runExplained plans with the named classical option, prints the EXPLAIN
 // tree (estimates first, then actuals after execution), and reports the run.
-func runExplained(spec harness.QuerySpec, sc harness.Scale, optName string) {
+func runExplained(spec harness.QuerySpec, sc harness.Scale, optName string, sink obs.EventSink) {
 	eng := engine.New(spec.Cat)
+	eng.Obs = obs.NewTracer(sink)
 	var st *stats.Store
 	switch optName {
 	case "postgres":
@@ -198,7 +245,7 @@ func runExplained(spec harness.QuerySpec, sc harness.Scale, optName string) {
 	default:
 		fail("-explain supports postgres, defaults, and greedy (got %q)", optName)
 	}
-	dv := &cost.Deriver{Q: spec.Q, St: st, Miss: cost.DefaultMiss(0.1)}
+	dv := &cost.Deriver{Q: spec.Q, St: st, Miss: cost.DefaultMiss(0.1), Obs: eng.Obs}
 	var tree *plan.Node
 	var err error
 	if optName == "greedy" {

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 
+	"monsoon/internal/obs"
 	"monsoon/internal/plan"
 	"monsoon/internal/query"
 	"monsoon/internal/stats"
@@ -50,6 +51,9 @@ type Deriver struct {
 	Q    *query.Query
 	St   *stats.Store
 	Miss MissFn
+	// Obs, when set, lets optimizers walking this deriver (e.g. opt.BestPlan)
+	// record spans; a nil tracer keeps derivation free of any overhead.
+	Obs *obs.Tracer
 }
 
 // Distinct resolves d(term, expr | partner): measured over the expression

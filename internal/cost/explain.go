@@ -3,8 +3,11 @@ package cost
 import (
 	"fmt"
 	"strings"
+	"time"
 
+	"monsoon/internal/obs"
 	"monsoon/internal/plan"
+	"monsoon/internal/query"
 )
 
 // Explain renders a plan tree, EXPLAIN-style: one node per line, indented by
@@ -23,8 +26,10 @@ func Explain(dv *Deriver, tree *plan.Node, actuals map[string]float64) string {
 	return b.String()
 }
 
-func explainNode(b *strings.Builder, dv *Deriver, n *plan.Node, actuals map[string]float64, depth int, root bool) {
-	b.WriteString(strings.Repeat("  ", depth))
+// nodeLabel renders the operator part of one explain line: the Σ marker (root
+// only), the scan/reuse/join shape, and the predicates newly applied there.
+func nodeLabel(q *query.Query, n *plan.Node, root bool) string {
+	var b strings.Builder
 	if root && n.Sigma {
 		b.WriteString("Σ ")
 	}
@@ -34,21 +39,27 @@ func explainNode(b *strings.Builder, dv *Deriver, n *plan.Node, actuals map[stri
 		} else {
 			b.WriteString("reuse [" + n.Key() + "]")
 		}
-	} else {
-		b.WriteString("⋈ [" + n.Key() + "]")
-		var preds []string
-		for _, p := range dv.Q.PredsNewAt(n.Left.Aliases(), n.Right.Aliases()) {
-			preds = append(preds, p.String())
-		}
-		for _, s := range dv.Q.SelsNewAt(n.Left.Aliases(), n.Right.Aliases()) {
-			preds = append(preds, s.String())
-		}
-		if len(preds) == 0 {
-			b.WriteString(" cross-product")
-		} else {
-			b.WriteString(" preds{" + strings.Join(preds, ", ") + "}")
-		}
+		return b.String()
 	}
+	b.WriteString("⋈ [" + n.Key() + "]")
+	var preds []string
+	for _, p := range q.PredsNewAt(n.Left.Aliases(), n.Right.Aliases()) {
+		preds = append(preds, p.String())
+	}
+	for _, s := range q.SelsNewAt(n.Left.Aliases(), n.Right.Aliases()) {
+		preds = append(preds, s.String())
+	}
+	if len(preds) == 0 {
+		b.WriteString(" cross-product")
+	} else {
+		b.WriteString(" preds{" + strings.Join(preds, ", ") + "}")
+	}
+	return b.String()
+}
+
+func explainNode(b *strings.Builder, dv *Deriver, n *plan.Node, actuals map[string]float64, depth int, root bool) {
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(nodeLabel(dv.Q, n, root))
 	est := dv.NodeCount(n)
 	fmt.Fprintf(b, " est=%.4g", est)
 	if actual, ok := actuals[n.Key()]; ok {
@@ -65,5 +76,56 @@ func explainNode(b *strings.Builder, dv *Deriver, n *plan.Node, actuals map[stri
 	if !n.IsLeaf() {
 		explainNode(b, dv, n.Left, actuals, depth+1, false)
 		explainNode(b, dv, n.Right, actuals, depth+1, false)
+	}
+}
+
+// ExplainAnalyze renders an executed plan tree with the optimizer's estimated
+// cardinality, the observed cardinality, the per-node q-error, and — when the
+// engine reported per-node timings — the inclusive wall time of each operator:
+//
+//	⋈ [R+S+T] preds{F3(R.b)=id(T.k)} est=1e+06 actual=964412 q=1.04 time=12.3ms
+//	  ⋈ [R+S] preds{F1(R.a)=id(S.k)} est=1e+07 actual=1.2e+07 q=1.20 time=9.8ms
+//	    scan R est=1e+06 actual=1e+06 q=1.00 time=1.1ms
+//
+// Unlike Explain it does not need a Deriver: estimates and actuals both come
+// as maps keyed by plan.Node.Key, so callers can render from recorded trace
+// events long after the run (the CLI's --explain analyze path does exactly
+// that). Nodes missing from a map render "?" for that column.
+func ExplainAnalyze(q *query.Query, tree *plan.Node, ests, actuals map[string]float64, times map[string]time.Duration) string {
+	var b strings.Builder
+	analyzeNode(&b, q, tree, ests, actuals, times, 0, true)
+	return b.String()
+}
+
+func analyzeNode(b *strings.Builder, q *query.Query, n *plan.Node, ests, actuals map[string]float64, times map[string]time.Duration, depth int, root bool) {
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(nodeLabel(q, n, root))
+	key := n.Key()
+	est, haveEst := ests[key]
+	actual, haveActual := actuals[key]
+	if haveEst {
+		fmt.Fprintf(b, " est=%.4g", est)
+	} else {
+		b.WriteString(" est=?")
+	}
+	if haveActual {
+		fmt.Fprintf(b, " actual=%.4g", actual)
+	} else {
+		b.WriteString(" actual=?")
+	}
+	if haveEst && haveActual {
+		if qe := obs.QError(est, actual); qe > 1e6 {
+			fmt.Fprintf(b, " q=%.3g", qe)
+		} else {
+			fmt.Fprintf(b, " q=%.2f", qe)
+		}
+	}
+	if d, ok := times[key]; ok {
+		fmt.Fprintf(b, " time=%s", d.Round(time.Microsecond))
+	}
+	b.WriteByte('\n')
+	if !n.IsLeaf() {
+		analyzeNode(b, q, n.Left, ests, actuals, times, depth+1, false)
+		analyzeNode(b, q, n.Right, ests, actuals, times, depth+1, false)
 	}
 }

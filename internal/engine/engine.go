@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"monsoon/internal/expr"
+	"monsoon/internal/obs"
 	"monsoon/internal/plan"
 	"monsoon/internal/query"
 	"monsoon/internal/sketch"
@@ -87,6 +88,9 @@ type ExecResult struct {
 	// Counts holds the hardened cardinality of every node in the tree,
 	// keyed by expression (alias-set) key.
 	Counts map[string]float64
+	// Times holds the inclusive wall time of every node in the tree, keyed
+	// like Counts — the per-operator numbers EXPLAIN ANALYZE annotates.
+	Times map[string]time.Duration
 	// Sigma holds distinct-value measurements when the root carried Σ.
 	Sigma []SigmaObs
 	// SigmaTime is the portion of wall time spent in the Σ pass.
@@ -99,6 +103,10 @@ type Engine struct {
 	Cat *table.Catalog
 	// HLLPrecision configures Σ sketches; 0 means the default (14).
 	HLLPrecision uint8
+	// Obs, when non-nil, receives one span per operator (scan, reuse,
+	// hash-build/probe, nested loop, Σ pass) with rows-in/rows-out and wall
+	// time. Nil (the default) costs nothing: every tracer call no-ops.
+	Obs *obs.Tracer
 
 	mats map[string]*table.Relation
 }
@@ -134,23 +142,28 @@ func (e *Engine) SeedBaseStats(q *query.Query, st *stats.Store) {
 // ErrBudget; partial results are discarded but counts already observed are
 // returned so the harness can report progress.
 func (e *Engine) ExecTree(q *query.Query, n *plan.Node, budget *Budget) (*table.Relation, *ExecResult, error) {
-	res := &ExecResult{Counts: make(map[string]float64)}
+	res := &ExecResult{Counts: make(map[string]float64), Times: make(map[string]time.Duration)}
+	msp := e.Obs.Start(obs.KMaterialize, n.String()).SetStr("expr", n.Key())
 	rel, err := e.exec(q, n, budget, res)
 	if err != nil {
+		msp.SetStr("err", err.Error()).SetProduced(res.Produced).End()
 		return nil, res, err
 	}
 	if n.Sigma {
 		start := time.Now()
 		if err := e.collectSigma(q, n, rel, budget, res); err != nil {
+			msp.SetStr("err", err.Error()).SetProduced(res.Produced).End()
 			return nil, res, err
 		}
 		res.SigmaTime = time.Since(start)
 	}
 	e.mats[n.Key()] = rel
+	msp.SetRows(0, rel.Count()).SetProduced(res.Produced).End()
 	return rel, res, nil
 }
 
 func (e *Engine) exec(q *query.Query, n *plan.Node, budget *Budget, res *ExecResult) (*table.Relation, error) {
+	t0 := time.Now()
 	var rel *table.Relation
 	var err error
 	if n.IsLeaf() {
@@ -158,6 +171,7 @@ func (e *Engine) exec(q *query.Query, n *plan.Node, budget *Budget, res *ExecRes
 	} else {
 		rel, err = e.execJoin(q, n, budget, res)
 	}
+	res.Times[n.Key()] = time.Since(t0)
 	if err != nil {
 		return nil, err
 	}
@@ -174,9 +188,12 @@ func (e *Engine) execLeaf(q *query.Query, n *plan.Node, budget *Budget) (*table.
 	if m, ok := e.mats[key]; ok {
 		// Reusing a materialized expression still costs one pass over it
 		// (cost(r) = c(r) for r in Re, §4.4).
+		sp := e.Obs.Start(obs.KReuse, key).SetRows(m.Count(), m.Count())
 		if err := budget.Charge(m.Count()); err != nil {
+			sp.SetStr("err", err.Error()).End()
 			return nil, err
 		}
+		sp.End()
 		return m, nil
 	}
 	if n.Leaf.Size() != 1 {
@@ -189,10 +206,13 @@ func (e *Engine) execLeaf(q *query.Query, n *plan.Node, budget *Budget) (*table.
 	}
 	base := e.Cat.MustGet(tbl).Renamed(alias)
 	sels := q.SelsAt(n.Leaf)
+	sp := e.Obs.Start(obs.KScan, alias).SetNum("selections", float64(len(sels)))
 	if len(sels) == 0 {
 		if err := budget.Charge(base.Count()); err != nil {
+			sp.SetRows(base.Count(), 0).SetStr("err", err.Error()).End()
 			return nil, err
 		}
+		sp.SetRows(base.Count(), base.Count()).SetProduced(float64(base.Count())).End()
 		return base, nil
 	}
 	type boundSel struct {
@@ -203,6 +223,7 @@ func (e *Engine) execLeaf(q *query.Query, n *plan.Node, budget *Budget) (*table.
 	for _, s := range sels {
 		b, ok := s.T.Fn.Bind(base.Schema)
 		if !ok {
+			sp.End()
 			return nil, fmt.Errorf("engine: selection %s not bindable on %s", s, base.Schema)
 		}
 		bound = append(bound, boundSel{b: b, k: s.Const})
@@ -219,10 +240,12 @@ func (e *Engine) execLeaf(q *query.Query, n *plan.Node, budget *Budget) (*table.
 		if keep {
 			out = append(out, row)
 			if err := budget.Charge(1); err != nil {
+				sp.SetRows(base.Count(), len(out)).SetStr("err", err.Error()).End()
 				return nil, err
 			}
 		}
 	}
+	sp.SetRows(base.Count(), len(out)).SetProduced(float64(len(out))).End()
 	return table.NewRelation(key, base.Schema, out), nil
 }
 
@@ -318,17 +341,21 @@ func (e *Engine) hashJoin(left, right *table.Relation, buildTerm, probeTerm *que
 		key  value.Value
 		rows []int
 	}
+	bsp := e.Obs.Start(obs.KHashBuild, name)
+	inserted := 0
 	ht := make(map[uint64][]bucket, buildRel.Count())
 	for i, row := range buildRel.Rows {
 		// Building over a huge materialized input produces nothing but must
 		// still honor the deadline.
 		if err := budget.Charge(0); err != nil {
+			bsp.SetRows(buildRel.Count(), inserted).SetStr("err", err.Error()).End()
 			return nil, err
 		}
 		k := bb.Eval(row)
 		if k.IsNull() {
 			continue
 		}
+		inserted++
 		h := k.Hash()
 		bs := ht[h]
 		found := false
@@ -344,11 +371,14 @@ func (e *Engine) hashJoin(left, right *table.Relation, buildTerm, probeTerm *que
 		}
 		ht[h] = bs
 	}
+	bsp.SetRows(buildRel.Count(), inserted).SetNum("residuals", float64(len(residuals))).End()
+	psp := e.Obs.Start(obs.KHashProbe, name)
 	var out []table.Row
 	scratch := make(table.Row, len(outSchema.Cols))
 	for _, prow := range probeRel.Rows {
 		// Matchless probes produce nothing; poll the deadline anyway.
 		if err := budget.Charge(0); err != nil {
+			psp.SetRows(probeRel.Count(), len(out)).SetStr("err", err.Error()).End()
 			return nil, err
 		}
 		k := pb.Eval(prow)
@@ -376,11 +406,13 @@ func (e *Engine) hashJoin(left, right *table.Relation, buildTerm, probeTerm *que
 				copy(joined, scratch)
 				out = append(out, joined)
 				if err := budget.Charge(1); err != nil {
+					psp.SetRows(probeRel.Count(), len(out)).SetStr("err", err.Error()).End()
 					return nil, err
 				}
 			}
 		}
 	}
+	psp.SetRows(probeRel.Count(), len(out)).SetProduced(float64(len(out))).End()
 	return table.NewRelation(name, outSchema, out), nil
 }
 
@@ -389,6 +421,7 @@ func (e *Engine) hashJoin(left, right *table.Relation, buildTerm, probeTerm *que
 // multi-table UDF terms).
 func (e *Engine) nestedLoop(left, right *table.Relation, residuals []residual,
 	outSchema *table.Schema, name string, budget *Budget) (*table.Relation, error) {
+	sp := e.Obs.Start(obs.KNestedLoop, name).SetNum("residuals", float64(len(residuals)))
 	var out []table.Row
 	scratch := make(table.Row, len(outSchema.Cols))
 	for _, lrow := range left.Rows {
@@ -399,6 +432,7 @@ func (e *Engine) nestedLoop(left, right *table.Relation, residuals []residual,
 				// Even rejected pairs consume work in a nested loop; charge
 				// them against the deadline occasionally via a zero charge.
 				if err := budget.Charge(0); err != nil {
+					sp.SetRows(left.Count()+right.Count(), len(out)).SetStr("err", err.Error()).End()
 					return nil, err
 				}
 				continue
@@ -407,10 +441,12 @@ func (e *Engine) nestedLoop(left, right *table.Relation, residuals []residual,
 			copy(joined, scratch)
 			out = append(out, joined)
 			if err := budget.Charge(1); err != nil {
+				sp.SetRows(left.Count()+right.Count(), len(out)).SetStr("err", err.Error()).End()
 				return nil, err
 			}
 		}
 	}
+	sp.SetRows(left.Count()+right.Count(), len(out)).SetProduced(float64(len(out))).End()
 	return table.NewRelation(name, outSchema, out), nil
 }
 
@@ -453,8 +489,10 @@ func (e *Engine) collectSigma(q *query.Query, n *plan.Node, rel *table.Relation,
 		}
 		ts = append(ts, tracked{term: t, b: b, h: sketch.NewHLL(p)})
 	}
+	sp := e.Obs.Start(obs.KSigma, n.Key()).SetNum("terms", float64(len(ts)))
 	for _, row := range rel.Rows {
 		if err := budget.Charge(1); err != nil {
+			sp.SetRows(rel.Count(), 0).SetStr("err", err.Error()).End()
 			return err
 		}
 		for _, t := range ts {
@@ -469,6 +507,7 @@ func (e *Engine) collectSigma(q *query.Query, n *plan.Node, rel *table.Relation,
 	for _, t := range ts {
 		res.Sigma = append(res.Sigma, SigmaObs{Term: t.term.ID, Expr: n.Key(), D: t.h.Estimate()})
 	}
+	sp.SetRows(rel.Count(), len(ts)).SetProduced(float64(rel.Count())).End()
 	return nil
 }
 

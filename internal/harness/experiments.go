@@ -12,6 +12,7 @@ import (
 	"monsoon/internal/bench/udf"
 	"monsoon/internal/cost"
 	"monsoon/internal/expr"
+	"monsoon/internal/obs"
 	"monsoon/internal/plan"
 	"monsoon/internal/prior"
 	"monsoon/internal/query"
@@ -76,6 +77,13 @@ func Medium() Scale {
 type Runner struct {
 	Scale    Scale
 	Progress io.Writer
+	// Metrics, when non-nil, accumulates counters and histograms from every
+	// Monsoon run of the campaign (cmd/monsoon-bench dumps it on exit).
+	Metrics *obs.Registry
+	// Sink, when non-nil, receives the structured event stream of every
+	// Monsoon run of the campaign. Sinks shared this way must lock
+	// internally (obs.NewJSONL does).
+	Sink obs.EventSink
 
 	imdbRes *BenchResult
 	ottRes  *BenchResult
@@ -83,7 +91,7 @@ type Runner struct {
 }
 
 func (r *Runner) monsoon() Monsoon {
-	return Monsoon{Iterations: r.Scale.MCTSIterations}
+	return Monsoon{Iterations: r.Scale.MCTSIterations, Metrics: r.Metrics, Sink: r.Sink}
 }
 
 // standardOptions is the Table 3/5 lineup.
@@ -232,7 +240,8 @@ func (r *Runner) imdbBench() (*BenchResult, error) {
 
 func printAggTable(w io.Writer, title string, names []string, br *BenchResult, filter map[string]bool) {
 	fmt.Fprintln(w, title)
-	fmt.Fprintf(w, "%-22s %-4s %-10s %-10s %-10s %-14s\n", "Implementation", "TO", "Mean", "Median", "Max", "GeoMean(tuples)")
+	fmt.Fprintf(w, "%-22s %-4s %-10s %-10s %-10s %-15s %-8s %-8s\n",
+		"Implementation", "TO", "Mean", "Median", "Max", "GeoMean(tuples)", "Q-geo", "Q-max")
 	for _, n := range names {
 		rs := br.Results[n]
 		if filter != nil {
@@ -240,7 +249,9 @@ func printAggTable(w io.Writer, title string, names []string, br *BenchResult, f
 		}
 		a := Aggregate(rs, br.Timeout)
 		mean, median, max := fmtAgg(a, br.Timeout)
-		fmt.Fprintf(w, "%-22s %-4d %-10s %-10s %-10s %-14.4g\n", n, a.TO, mean, median, max, geoMeanProduced(rs))
+		qgeo, qmax := qerrCols(rs)
+		fmt.Fprintf(w, "%-22s %-4d %-10s %-10s %-10s %-15.4g %-8s %-8s\n",
+			n, a.TO, mean, median, max, geoMeanProduced(rs), qgeo, qmax)
 	}
 }
 

@@ -6,12 +6,14 @@ package harness
 
 import (
 	"errors"
+	"math"
 	"time"
 
 	"monsoon/internal/core"
 	"monsoon/internal/cost"
 	"monsoon/internal/engine"
 	"monsoon/internal/mcts"
+	"monsoon/internal/obs"
 	"monsoon/internal/opt"
 	"monsoon/internal/plan"
 	"monsoon/internal/prior"
@@ -46,6 +48,13 @@ type Outcome struct {
 	// MCTSTime, SigmaTime and ExecTime are the Monsoon component breakdown
 	// (Table 8); zero for other options.
 	MCTSTime, SigmaTime, ExecTime time.Duration
+	// QErrJoins, QErrGeo and QErrMax summarize the run's estimate-vs-actual
+	// records: the number of join nodes whose cardinality was both predicted
+	// and observed, and the geometric mean and maximum of their q-errors.
+	// Zero for options that record no estimates.
+	QErrJoins int
+	QErrGeo   float64
+	QErrMax   float64
 	// Err carries non-budget failures (always a bug: surfaced, not hidden).
 	Err error
 }
@@ -80,11 +89,12 @@ func finish(start time.Time, b *engine.Budget, err error, out Outcome) Outcome {
 	return out
 }
 
-// planAndExec is the shared tail of every single-plan option.
-func planAndExec(spec QuerySpec, st *stats.Store, miss cost.MissFn,
+// planAndExec is the shared tail of every single-plan option. It plans and
+// executes on the caller's engine, so any tracer installed there covers both
+// the optimize span and the execution operators.
+func planAndExec(spec QuerySpec, eng *engine.Engine, st *stats.Store, miss cost.MissFn,
 	start time.Time, b *engine.Budget) Outcome {
-	eng := engine.New(spec.Cat)
-	dv := &cost.Deriver{Q: spec.Q, St: st, Miss: miss}
+	dv := &cost.Deriver{Q: spec.Q, St: st, Miss: miss, Obs: eng.Obs}
 	tree, err := opt.BestPlan(spec.Q, dv)
 	if err != nil {
 		return finish(start, b, err, Outcome{})
@@ -109,7 +119,7 @@ func (Postgres) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, _ 
 	st := opt.CollectFullStats(spec.Q, spec.Cat) // offline, untimed
 	start := time.Now()
 	b := newBudget(timeout, maxTuples)
-	return planAndExec(spec, st, cost.DefaultMiss(0.1), start, b)
+	return planAndExec(spec, engine.New(spec.Cat), st, cost.DefaultMiss(0.1), start, b)
 }
 
 // Defaults optimizes with the magic constant d = 0.1·c (option 4).
@@ -123,8 +133,9 @@ func (Defaults) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, _ 
 	start := time.Now()
 	b := newBudget(timeout, maxTuples)
 	st := stats.New()
-	engine.New(spec.Cat).SeedBaseStats(spec.Q, st)
-	return planAndExec(spec, st, cost.DefaultMiss(0.1), start, b)
+	eng := engine.New(spec.Cat)
+	eng.SeedBaseStats(spec.Q, st)
+	return planAndExec(spec, eng, st, cost.DefaultMiss(0.1), start, b)
 }
 
 // Greedy is the size-only left-deep heuristic (option 3).
@@ -154,26 +165,32 @@ func (Greedy) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, _ in
 
 // OnDemand computes HLL statistics after the query is issued (option 1),
 // paying the scan before optimizing.
-type OnDemand struct{}
+type OnDemand struct {
+	// Sink, when non-nil, receives the collection pass's spans.
+	Sink obs.EventSink
+}
 
 // Name implements Option.
 func (OnDemand) Name() string { return "On Demand" }
 
 // Run implements Option.
-func (OnDemand) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, _ int64) Outcome {
+func (o OnDemand) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, _ int64) Outcome {
 	start := time.Now()
 	b := newBudget(timeout, maxTuples)
 	eng := engine.New(spec.Cat)
+	eng.Obs = obs.NewTracer(o.Sink)
 	st, err := opt.CollectOnDemand(spec.Q, eng, b)
 	if err != nil {
 		return finish(start, b, err, Outcome{})
 	}
-	return planAndExec(spec, st, cost.DefaultMiss(0.1), start, b)
+	return planAndExec(spec, eng, st, cost.DefaultMiss(0.1), start, b)
 }
 
 // Sampling is the block-sampling + GEE option (option 2).
 type Sampling struct {
 	Cfg opt.SamplingConfig
+	// Sink, when non-nil, receives the sampling pass's spans.
+	Sink obs.EventSink
 }
 
 // Name implements Option.
@@ -184,11 +201,12 @@ func (s Sampling) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, 
 	start := time.Now()
 	b := newBudget(timeout, maxTuples)
 	eng := engine.New(spec.Cat)
+	eng.Obs = obs.NewTracer(s.Sink)
 	st, err := opt.CollectSampling(spec.Q, eng, b, s.Cfg, randx.New(randx.Derive(seed, "sampling")))
 	if err != nil {
 		return finish(start, b, err, Outcome{})
 	}
-	return planAndExec(spec, st, cost.DefaultMiss(0.1), start, b)
+	return planAndExec(spec, eng, st, cost.DefaultMiss(0.1), start, b)
 }
 
 // Skinner is the Skinner-G stand-in (option 5).
@@ -211,11 +229,51 @@ func (s Skinner) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, s
 	return finish(start, b, err, out)
 }
 
+// qerrSink accumulates join q-errors from the driver's estimate events; it
+// is the cheapest possible consumer of the structured stream (no spans are
+// retained). Unboundedly wrong estimates are clamped so one +Inf does not
+// swallow the geometric mean.
+type qerrSink struct {
+	logSum float64
+	n      int
+	max    float64
+}
+
+const qerrClamp = 1e12
+
+func (qs *qerrSink) Emit(ev obs.Event) {
+	if ev.Type != obs.EvEstimate || !ev.Est.Join {
+		return
+	}
+	q := ev.Est.QError
+	if q > qerrClamp || math.IsNaN(q) {
+		q = qerrClamp
+	}
+	qs.n++
+	qs.logSum += math.Log(q)
+	if q > qs.max {
+		qs.max = q
+	}
+}
+
+func (qs *qerrSink) geo() float64 {
+	if qs.n == 0 {
+		return 0
+	}
+	return math.Exp(qs.logSum / float64(qs.n))
+}
+
 // Monsoon is the paper's optimizer (option 6).
 type Monsoon struct {
 	Prior      prior.Prior
 	Strategy   mcts.Strategy
 	Iterations int
+	// Sink, when non-nil, receives the run's structured event stream (the
+	// q-error summary in the Outcome is collected regardless).
+	Sink obs.EventSink
+	// Metrics, when non-nil, accumulates counters and histograms across the
+	// campaign's runs.
+	Metrics *obs.Registry
 }
 
 // Name implements Option.
@@ -231,15 +289,19 @@ func (m Monsoon) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, s
 	start := time.Now()
 	b := newBudget(timeout, maxTuples)
 	eng := engine.New(spec.Cat)
+	qs := &qerrSink{}
 	res, err := core.Run(spec.Q, eng, b, core.Config{
 		Prior:      m.Prior,
 		Strategy:   m.Strategy,
 		Iterations: m.Iterations,
 		Seed:       seed,
+		Sink:       obs.Multi(m.Sink, qs),
+		Metrics:    m.Metrics,
 	})
 	out := Outcome{
 		Rows: res.Rows, Value: res.Value,
 		MCTSTime: res.PlanTime, SigmaTime: res.SigmaTime, ExecTime: res.ExecTime,
+		QErrJoins: qs.n, QErrGeo: qs.geo(), QErrMax: qs.max,
 	}
 	return finish(start, b, err, out)
 }

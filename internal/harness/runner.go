@@ -175,6 +175,34 @@ func fmtAgg(a Agg, timeout time.Duration) (mean, median, max string) {
 	return
 }
 
+// qerrCols pools the per-run join q-error summaries of one option's results
+// into a campaign-wide geometric mean and maximum. Each run contributes its
+// geometric mean weighted by the number of joins behind it (recovering the
+// pooled log-sum), so queries with more joins count proportionally. Options
+// that record no estimates render "-".
+func qerrCols(rs []QueryResult) (geo, max string) {
+	logSum, mx := 0.0, 0.0
+	n := 0
+	for _, r := range rs {
+		if r.QErrJoins == 0 {
+			continue
+		}
+		logSum += math.Log(r.QErrGeo) * float64(r.QErrJoins)
+		n += r.QErrJoins
+		if r.QErrMax > mx {
+			mx = r.QErrMax
+		}
+	}
+	if n == 0 {
+		return "-", "-"
+	}
+	max = fmt.Sprintf("%.3g", mx)
+	if mx >= qerrClamp {
+		max = "inf" // an estimated-nonempty join came back empty (or vice versa)
+	}
+	return fmt.Sprintf("%.2f", math.Exp(logSum/float64(n))), max
+}
+
 // geoMeanProduced reports the geometric mean of tuples produced — a
 // hardware-independent companion metric printed under each table so the
 // relative shapes survive machines with different absolute speeds.

@@ -84,6 +84,22 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// PlanStats describes the search behind the most recent Plan call, for
+// observability: how much work the planner did and how deep it looked.
+type PlanStats struct {
+	// RootActions is the number of legal actions at the planning root.
+	RootActions int
+	// Rollouts is the number of simulation passes actually run; 0 when the
+	// root had at most one action (the fast path skips the search).
+	Rollouts int
+	// MaxDepth is the deepest tree (selection) depth any pass reached.
+	MaxDepth int
+	// Nodes is the number of decision nodes created.
+	Nodes int
+	// FastPath marks a call decided without search (≤ 1 legal action).
+	FastPath bool
+}
+
 // Planner runs MCTS. It is not safe for concurrent use.
 type Planner struct {
 	cfg Config
@@ -91,7 +107,11 @@ type Planner struct {
 
 	minRet, maxRet float64
 	haveRet        bool
+	last           PlanStats
 }
+
+// LastStats reports the statistics of the most recent Plan call.
+func (p *Planner) LastStats() PlanStats { return p.last }
 
 // New creates a planner with the given configuration and randomness.
 func New(cfg Config, rng *rand.Rand) *Planner {
@@ -118,22 +138,28 @@ func (p *Planner) newNode(m Model, s State) *node {
 		n.actions = m.Legal(s)
 		n.edges = make([]*edge, len(n.actions))
 	}
+	p.last.Nodes++
 	return n
 }
 
 // Plan runs the configured number of iterations from root and returns the
 // action with the best average return, or nil if root is terminal/stuck.
 func (p *Planner) Plan(m Model, root State) Action {
+	p.last = PlanStats{}
 	rootNode := p.newNode(m, root)
+	p.last.RootActions = len(rootNode.actions)
 	if len(rootNode.actions) == 0 {
+		p.last.FastPath = true
 		return nil
 	}
 	if len(rootNode.actions) == 1 {
+		p.last.FastPath = true
 		return rootNode.actions[0]
 	}
 	p.minRet, p.maxRet, p.haveRet = 0, 0, false
 	for i := 0; i < p.cfg.Iterations; i++ {
 		p.simulate(m, rootNode, 0, i)
+		p.last.Rollouts++
 	}
 	best := -1
 	bestVal := math.Inf(-1)
@@ -156,6 +182,9 @@ func (p *Planner) Plan(m Model, root State) Action {
 // simulate runs one selection→expansion→rollout→backpropagation pass and
 // returns the cumulative return observed from n downward.
 func (p *Planner) simulate(m Model, n *node, depth, iter int) float64 {
+	if depth > p.last.MaxDepth {
+		p.last.MaxDepth = depth
+	}
 	if n.state.Terminal() || len(n.actions) == 0 || depth >= p.cfg.MaxDepth {
 		return 0
 	}

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sync"
+)
+
+// jsonlRecord is the wire shape of one JSONL trace line. Exactly one of the
+// payload fields is set, discriminated by Type:
+//
+//	{"type":"span","span":{"id":3,"parent":1,"kind":"scan","name":"R",...}}
+//	{"type":"message","msg":"EXECUTE"}
+//	{"type":"estimate","estimate":{"expr":"R+S","join":true,"est":1e6,...}}
+type jsonlRecord struct {
+	Type     string    `json:"type"`
+	Span     *Span     `json:"span,omitempty"`
+	Msg      string    `json:"msg,omitempty"`
+	Estimate *Estimate `json:"estimate,omitempty"`
+}
+
+// JSONL is an EventSink that streams every event as one JSON object per line.
+// Safe for use across sequential runs sharing one output file; Emit locks.
+type JSONL struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONL wraps a writer. The caller owns the writer's lifecycle (flushing,
+// closing).
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{enc: json.NewEncoder(w)}
+}
+
+// Emit implements EventSink. Encoding errors are dropped: tracing must never
+// fail a query.
+func (j *JSONL) Emit(ev Event) {
+	var rec jsonlRecord
+	switch ev.Type {
+	case EvSpan:
+		rec = jsonlRecord{Type: "span", Span: ev.Span}
+	case EvMessage:
+		rec = jsonlRecord{Type: "message", Msg: ev.Msg}
+	case EvEstimate:
+		// encoding/json rejects non-finite floats; clamp so an unboundedly
+		// wrong estimate (+Inf q-error) still produces a trace line.
+		if e := ev.Est; math.IsInf(e.QError, 0) || math.IsNaN(e.QError) {
+			c := *e
+			c.QError = math.MaxFloat64
+			ev.Est = &c
+		}
+		rec = jsonlRecord{Type: "estimate", Estimate: ev.Est}
+	default:
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_ = j.enc.Encode(rec)
+}

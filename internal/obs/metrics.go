@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry is a lightweight metrics registry: named counters, gauges, and
+// log₂-bucketed histograms. Like the Tracer, a nil *Registry is the off
+// switch — Counter/Gauge/Histogram on a nil registry return nil instruments
+// whose methods no-op — so instrumented code records unconditionally:
+//
+//	reg.Counter("monsoon.executes").Inc()
+//	reg.Histogram("monsoon.qerror.join").Observe(q)
+//
+// Instruments are cached by name; lookups take one mutex acquisition, updates
+// on the returned instrument are atomic and lock-free.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the named counter. Nil-safe.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge. Nil-safe.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram. Nil-safe.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{min: math.Inf(1), max: math.Inf(-1)}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing integer.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments by n. Nil-safe.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments by one. Nil-safe.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the current count. Nil-safe (zero).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-write-wins float.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set overwrites the value. Nil-safe.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value reads the current value. Nil-safe (zero).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histBuckets spans 2^-32 .. 2^95 in log₂ steps, enough for both durations in
+// seconds and cardinality q-errors.
+const (
+	histBuckets   = 128
+	histBucketMin = -32
+)
+
+// Histogram accumulates a distribution of non-negative values: count, sum,
+// min, max, plus log₂ buckets for quantile estimates. Updates lock; the
+// struct is small and histogram updates sit off the per-tuple path.
+type Histogram struct {
+	mu       sync.Mutex
+	count    int64
+	sum      float64
+	min, max float64
+	buckets  [histBuckets]int64
+}
+
+// Observe records one value. Nil-safe.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.buckets[bucketOf(v)]++
+}
+
+// ObserveDuration records a duration in seconds. Nil-safe.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+func bucketOf(v float64) int {
+	if v <= 0 || math.IsNaN(v) {
+		return 0
+	}
+	b := int(math.Floor(math.Log2(v))) - histBucketMin
+	if b < 0 {
+		b = 0
+	}
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// HistogramStats is one histogram's summary.
+type HistogramStats struct {
+	Count    int64
+	Sum      float64
+	Min, Max float64
+	Mean     float64
+	P50, P95 float64 // upper bound of the log₂ bucket holding the quantile
+}
+
+// Stats summarizes the histogram. Nil-safe (zero value).
+func (h *Histogram) Stats() HistogramStats {
+	if h == nil {
+		return HistogramStats{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramStats{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	if h.count == 0 {
+		s.Min, s.Max = 0, 0
+		return s
+	}
+	s.Mean = h.sum / float64(h.count)
+	s.P50 = h.quantileLocked(0.50)
+	s.P95 = h.quantileLocked(0.95)
+	return s
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
+	target := int64(math.Ceil(q * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i, n := range h.buckets {
+		seen += n
+		if seen >= target {
+			return math.Pow(2, float64(i+histBucketMin+1)) // bucket upper bound
+		}
+	}
+	return h.max
+}
+
+// Dump writes every instrument in deterministic (sorted) order, one line
+// each. Nil-safe.
+func (r *Registry) Dump(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	type hist struct {
+		name string
+		h    *Histogram
+	}
+	var (
+		cnames []string
+		gnames []string
+		hs     []hist
+	)
+	for n := range r.counters {
+		cnames = append(cnames, n)
+	}
+	for n := range r.gauges {
+		gnames = append(gnames, n)
+	}
+	for n, h := range r.histograms {
+		hs = append(hs, hist{n, h})
+	}
+	counters, gauges := r.counters, r.gauges
+	r.mu.Unlock()
+
+	sort.Strings(cnames)
+	sort.Strings(gnames)
+	sort.Slice(hs, func(i, j int) bool { return hs[i].name < hs[j].name })
+	for _, n := range cnames {
+		fmt.Fprintf(w, "counter %-32s %d\n", n, counters[n].Value())
+	}
+	for _, n := range gnames {
+		fmt.Fprintf(w, "gauge   %-32s %g\n", n, gauges[n].Value())
+	}
+	for _, e := range hs {
+		s := e.h.Stats()
+		fmt.Fprintf(w, "hist    %-32s count=%d mean=%.4g min=%.4g p50≤%.4g p95≤%.4g max=%.4g\n",
+			e.name, s.Count, s.Mean, s.Min, s.P50, s.P95, s.Max)
+	}
+}

@@ -1,0 +1,336 @@
+// Package obs is the repository's zero-dependency observability layer: a
+// span-based tracer over the Monsoon MDP loop (one span per query run, nested
+// spans for every MDP action — MCTS planning call, Σ statistics pass, EXECUTE
+// step — and every engine operator), a lightweight metrics registry, and
+// estimate-vs-actual cardinality records (per-join q-error), the single most
+// diagnostic signal for optimizer quality.
+//
+// Everything is designed around one rule: when no sink is installed the layer
+// must cost (almost) nothing. NewTracer(nil) returns a nil *Tracer, and every
+// method on a nil Tracer or nil Span is a no-op, so instrumented code calls
+// unconditionally:
+//
+//	sp := tr.Start(obs.KScan, "R").SetRows(in, out)
+//	defer sp.End()
+//
+// Events flow to an EventSink. The package ships four: Collector (retains
+// everything in memory), NewJSONL (streams JSON lines), MessageSink (adapts
+// the legacy func(string) trace callback), and Multi (fan-out).
+package obs
+
+import (
+	"math"
+	"time"
+)
+
+// Span kinds emitted by the instrumented layers. Driver-level kinds first,
+// then engine operators, then optimizer-level kinds.
+const (
+	// KQuery covers one whole core.Run (root span).
+	KQuery = "query"
+	// KPlan is one MCTS planning call (rollout count, tree depth attached).
+	KPlan = "plan"
+	// KAction is one real-world MDP action (name = action key).
+	KAction = "action"
+	// KMaterialize covers the execution of one planned tree.
+	KMaterialize = "materialize"
+	// KScan is a base-table scan with pushed-down selections.
+	KScan = "scan"
+	// KReuse is a pass over an already-materialized expression.
+	KReuse = "reuse"
+	// KHashBuild is the build phase of a hash join.
+	KHashBuild = "hash-build"
+	// KHashProbe is the probe phase of a hash join.
+	KHashProbe = "hash-probe"
+	// KNestedLoop is a nested-loop (residual/cross-product) join.
+	KNestedLoop = "nested-loop"
+	// KSigma is the Σ statistics-collection pass.
+	KSigma = "sigma"
+	// KAggregate is the final aggregate over the materialized result.
+	KAggregate = "aggregate"
+	// KOptimize is one classical planning call (DP or greedy enumeration).
+	KOptimize = "optimize"
+	// KCollect is one offline/online statistics-collection pass (On-Demand
+	// scans, Sampling passes).
+	KCollect = "collect"
+)
+
+// Span is one timed region. IDs are unique within a Tracer; Parent is 0 for
+// the root. Rows and Produced carry the operator's data flow: rows consumed,
+// rows emitted, and objects charged against the engine.Budget (the §4.4
+// cost). Num and Str hold kind-specific attributes (MCTS rollouts, plan
+// strings, estimate/actual cardinalities, ...).
+type Span struct {
+	ID       int            `json:"id"`
+	Parent   int            `json:"parent,omitempty"`
+	Kind     string         `json:"kind"`
+	Name     string         `json:"name"`
+	Start    time.Time      `json:"start"`
+	Dur      time.Duration  `json:"dur_ns"`
+	RowsIn   int            `json:"rows_in,omitempty"`
+	RowsOut  int            `json:"rows_out,omitempty"`
+	Produced float64        `json:"produced,omitempty"`
+	Num      map[string]float64 `json:"num,omitempty"`
+	Str      map[string]string  `json:"str,omitempty"`
+
+	tr *Tracer
+}
+
+// SetRows records rows consumed and emitted. Nil-safe; returns the span for
+// chaining.
+func (sp *Span) SetRows(in, out int) *Span {
+	if sp == nil {
+		return nil
+	}
+	sp.RowsIn, sp.RowsOut = in, out
+	return sp
+}
+
+// SetProduced records objects charged against the budget. Nil-safe.
+func (sp *Span) SetProduced(n float64) *Span {
+	if sp == nil {
+		return nil
+	}
+	sp.Produced = n
+	return sp
+}
+
+// SetNum attaches a numeric attribute. Nil-safe.
+func (sp *Span) SetNum(key string, v float64) *Span {
+	if sp == nil {
+		return nil
+	}
+	if sp.Num == nil {
+		sp.Num = make(map[string]float64, 4)
+	}
+	sp.Num[key] = v
+	return sp
+}
+
+// SetStr attaches a string attribute. Nil-safe.
+func (sp *Span) SetStr(key, v string) *Span {
+	if sp == nil {
+		return nil
+	}
+	if sp.Str == nil {
+		sp.Str = make(map[string]string, 2)
+	}
+	sp.Str[key] = v
+	return sp
+}
+
+// End stamps the duration and emits the span to the sink. Nil-safe and
+// idempotent. Spans opened under this one and never ended (error paths) are
+// silently discarded to keep the parent chain consistent.
+func (sp *Span) End() {
+	if sp == nil || sp.tr == nil {
+		return
+	}
+	t := sp.tr
+	sp.tr = nil
+	sp.Dur = time.Since(sp.Start)
+	// Pop this span (and any abandoned children above it) off the stack.
+	for i := len(t.stack) - 1; i >= 0; i-- {
+		if t.stack[i] == sp.ID {
+			t.stack = t.stack[:i]
+			break
+		}
+	}
+	t.sink.Emit(Event{Type: EvSpan, Span: sp})
+}
+
+// Estimate is one estimate-vs-actual cardinality record: at every EXECUTE the
+// driver logs, for each node of each materialized tree, the cardinality the
+// optimizer believed (under the prior's expectation) next to the one the
+// engine observed, plus the q-error max(e/a, a/e).
+type Estimate struct {
+	// Expr is the expression (alias-set) key of the plan node.
+	Expr string `json:"expr"`
+	// Join marks join nodes (leaves/scans are the base cases).
+	Join bool `json:"join"`
+	// Round is the 1-based EXECUTE round that materialized the node.
+	Round int `json:"round"`
+	// Est is the optimizer's predicted cardinality, Actual the observed one.
+	Est    float64 `json:"est"`
+	Actual float64 `json:"actual"`
+	// QError is max(Est/Actual, Actual/Est); 1 is a perfect estimate. +Inf
+	// when exactly one side is zero.
+	QError float64 `json:"q"`
+	// Dur is the inclusive wall time the engine spent computing the node,
+	// when known — which makes the record a complete EXPLAIN ANALYZE row.
+	Dur time.Duration `json:"dur_ns,omitempty"`
+}
+
+// QError computes the symmetric estimation error max(e/a, a/e). Both zero is
+// a perfect estimate (1); exactly one zero is unboundedly wrong (+Inf).
+func QError(est, actual float64) float64 {
+	if est == actual {
+		return 1
+	}
+	if est <= 0 || actual <= 0 {
+		return math.Inf(1)
+	}
+	if est > actual {
+		return est / actual
+	}
+	return actual / est
+}
+
+// EventType discriminates Event payloads.
+type EventType uint8
+
+// The event types.
+const (
+	// EvSpan carries a completed Span.
+	EvSpan EventType = iota
+	// EvMessage carries a human-readable trace line (the strings the legacy
+	// core.Config.Trace callback received, byte-identical).
+	EvMessage
+	// EvEstimate carries one Estimate record.
+	EvEstimate
+)
+
+// Event is one observability record delivered to an EventSink.
+type Event struct {
+	Type EventType
+	Span *Span     // set when Type == EvSpan
+	Msg  string    // set when Type == EvMessage
+	Est  *Estimate // set when Type == EvEstimate
+}
+
+// EventSink receives observability events from a run. Implementations must be
+// cheap: the driver and engine call Emit on their hot paths. Sinks installed
+// on a single run are called sequentially; sinks shared across concurrent
+// runs must lock internally (NewJSONL does).
+type EventSink interface {
+	Emit(Event)
+}
+
+// Tracer hands out spans with automatic parent linkage (a stack — the
+// instrumented call tree is strictly nested and single-threaded, like the
+// planner itself). A nil Tracer is the off switch: every method no-ops.
+type Tracer struct {
+	sink  EventSink
+	next  int
+	stack []int
+}
+
+// NewTracer wraps a sink; a nil sink yields a nil (disabled) tracer.
+func NewTracer(sink EventSink) *Tracer {
+	if sink == nil {
+		return nil
+	}
+	return &Tracer{sink: sink}
+}
+
+// Active reports whether events are being collected.
+func (t *Tracer) Active() bool { return t != nil }
+
+// Start opens a span under the currently open span. Nil-safe.
+func (t *Tracer) Start(kind, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.next++
+	sp := &Span{ID: t.next, Kind: kind, Name: name, Start: time.Now(), tr: t}
+	if len(t.stack) > 0 {
+		sp.Parent = t.stack[len(t.stack)-1]
+	}
+	t.stack = append(t.stack, sp.ID)
+	return sp
+}
+
+// Message emits a legacy trace line. Nil-safe.
+func (t *Tracer) Message(line string) {
+	if t == nil {
+		return
+	}
+	t.sink.Emit(Event{Type: EvMessage, Msg: line})
+}
+
+// Estimate emits one estimate-vs-actual record. Nil-safe.
+func (t *Tracer) Estimate(e Estimate) {
+	if t == nil {
+		return
+	}
+	t.sink.Emit(Event{Type: EvEstimate, Est: &e})
+}
+
+// Collector is an EventSink that retains everything, for tests, the CLIs'
+// EXPLAIN ANALYZE rendering, and post-run analysis.
+type Collector struct {
+	Spans     []*Span
+	Messages  []string
+	Estimates []Estimate
+}
+
+// Emit implements EventSink.
+func (c *Collector) Emit(ev Event) {
+	switch ev.Type {
+	case EvSpan:
+		c.Spans = append(c.Spans, ev.Span)
+	case EvMessage:
+		c.Messages = append(c.Messages, ev.Msg)
+	case EvEstimate:
+		c.Estimates = append(c.Estimates, *ev.Est)
+	}
+}
+
+// SpansOf returns the collected spans of one kind, in completion order.
+func (c *Collector) SpansOf(kind string) []*Span {
+	var out []*Span
+	for _, sp := range c.Spans {
+		if sp.Kind == kind {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// messageSink adapts the legacy func(string) trace callback: it forwards
+// EvMessage payloads verbatim and drops structured events.
+type messageSink func(string)
+
+// Emit implements EventSink.
+func (f messageSink) Emit(ev Event) {
+	if ev.Type == EvMessage {
+		f(ev.Msg)
+	}
+}
+
+// MessageSink wraps a line callback as an EventSink — the compatibility shim
+// behind core.Config.Trace. Returns nil for a nil callback.
+func MessageSink(fn func(string)) EventSink {
+	if fn == nil {
+		return nil
+	}
+	return messageSink(fn)
+}
+
+// multiSink fans events out in order.
+type multiSink []EventSink
+
+// Emit implements EventSink.
+func (m multiSink) Emit(ev Event) {
+	for _, s := range m {
+		s.Emit(ev)
+	}
+}
+
+// Multi combines sinks, skipping nils. Zero live sinks yield nil (disabled);
+// a single live sink is returned unwrapped.
+func Multi(sinks ...EventSink) EventSink {
+	var live multiSink
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}

@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsFreeAndSafe(t *testing.T) {
+	tr := NewTracer(nil)
+	if tr != nil {
+		t.Fatal("NewTracer(nil) must return a nil tracer")
+	}
+	if tr.Active() {
+		t.Error("nil tracer must report inactive")
+	}
+	// Every operation on the disabled layer must be a no-op, not a panic.
+	sp := tr.Start(KScan, "R")
+	if sp != nil {
+		t.Fatal("nil tracer must hand out nil spans")
+	}
+	sp.SetRows(1, 2).SetProduced(3).SetNum("x", 4).SetStr("y", "z")
+	sp.End()
+	sp.End() // idempotent
+	tr.Message("hello")
+	tr.Estimate(Estimate{})
+
+	var reg *Registry
+	reg.Counter("c").Inc()
+	reg.Gauge("g").Set(1)
+	reg.Histogram("h").Observe(1)
+	if v := reg.Counter("c").Value(); v != 0 {
+		t.Errorf("nil counter value = %d, want 0", v)
+	}
+	reg.Dump(bufio.NewWriter(nil))
+}
+
+func TestTracerParentLinkage(t *testing.T) {
+	c := &Collector{}
+	tr := NewTracer(c)
+	root := tr.Start(KQuery, "q")
+	child := tr.Start(KAction, "a")
+	grand := tr.Start(KScan, "R").SetRows(10, 4)
+	grand.End()
+	child.End()
+	sibling := tr.Start(KAction, "b")
+	sibling.End()
+	root.End()
+
+	if len(c.Spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(c.Spans))
+	}
+	byName := map[string]*Span{}
+	for _, sp := range c.Spans {
+		byName[sp.Name] = sp
+	}
+	if byName["q"].Parent != 0 {
+		t.Errorf("root parent = %d, want 0", byName["q"].Parent)
+	}
+	if byName["a"].Parent != byName["q"].ID {
+		t.Error("child must link to root")
+	}
+	if byName["R"].Parent != byName["a"].ID {
+		t.Error("grandchild must link to child")
+	}
+	if byName["b"].Parent != byName["q"].ID {
+		t.Error("sibling opened after child ended must link to root")
+	}
+	if byName["R"].RowsIn != 10 || byName["R"].RowsOut != 4 {
+		t.Errorf("rows = %d/%d, want 10/4", byName["R"].RowsIn, byName["R"].RowsOut)
+	}
+	// Completion order: children before parents.
+	if c.Spans[0].Name != "R" || c.Spans[3].Name != "q" {
+		t.Errorf("unexpected completion order: %s ... %s", c.Spans[0].Name, c.Spans[3].Name)
+	}
+}
+
+func TestAbandonedChildSpanDoesNotCorruptStack(t *testing.T) {
+	c := &Collector{}
+	tr := NewTracer(c)
+	root := tr.Start(KQuery, "q")
+	_ = tr.Start(KScan, "leaked") // error path: never ended
+	root.End()
+	after := tr.Start(KQuery, "q2")
+	if after.Parent != 0 {
+		t.Errorf("span after recovery has parent %d, want 0", after.Parent)
+	}
+	after.End()
+}
+
+func TestQError(t *testing.T) {
+	cases := []struct {
+		est, actual, want float64
+	}{
+		{100, 100, 1},
+		{1000, 100, 10},
+		{100, 1000, 10},
+		{0, 0, 1},
+		{0, 5, math.Inf(1)},
+		{5, 0, math.Inf(1)},
+	}
+	for _, tc := range cases {
+		if got := QError(tc.est, tc.actual); got != tc.want {
+			t.Errorf("QError(%g, %g) = %g, want %g", tc.est, tc.actual, got, tc.want)
+		}
+	}
+}
+
+func TestMessageSinkForwardsOnlyMessages(t *testing.T) {
+	var lines []string
+	s := MessageSink(func(l string) { lines = append(lines, l) })
+	s.Emit(Event{Type: EvMessage, Msg: "one"})
+	s.Emit(Event{Type: EvSpan, Span: &Span{}})
+	s.Emit(Event{Type: EvEstimate, Est: &Estimate{}})
+	s.Emit(Event{Type: EvMessage, Msg: "two"})
+	if len(lines) != 2 || lines[0] != "one" || lines[1] != "two" {
+		t.Errorf("message sink got %v, want [one two]", lines)
+	}
+	if MessageSink(nil) != nil {
+		t.Error("MessageSink(nil) must be nil")
+	}
+}
+
+func TestMultiSink(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Error("Multi of no live sinks must be nil")
+	}
+	c := &Collector{}
+	if Multi(nil, c, nil) != EventSink(c) {
+		t.Error("Multi with one live sink must return it unwrapped")
+	}
+	c2 := &Collector{}
+	m := Multi(c, c2)
+	m.Emit(Event{Type: EvMessage, Msg: "x"})
+	if len(c.Messages) != 1 || len(c2.Messages) != 1 {
+		t.Errorf("fan-out wrong: %d/%d messages", len(c.Messages), len(c2.Messages))
+	}
+}
+
+func TestRegistryInstruments(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("runs").Add(3)
+	reg.Counter("runs").Inc()
+	if v := reg.Counter("runs").Value(); v != 4 {
+		t.Errorf("counter = %d, want 4", v)
+	}
+	reg.Gauge("scale").Set(2.5)
+	if v := reg.Gauge("scale").Value(); v != 2.5 {
+		t.Errorf("gauge = %g, want 2.5", v)
+	}
+	h := reg.Histogram("lat")
+	for _, v := range []float64{1, 2, 4, 8, 1000} {
+		h.Observe(v)
+	}
+	s := h.Stats()
+	if s.Count != 5 || s.Sum != 1015 || s.Min != 1 || s.Max != 1000 {
+		t.Errorf("histogram stats wrong: %+v", s)
+	}
+	if s.P50 < 2 || s.P50 > 8 {
+		t.Errorf("p50 bound %g outside [2,8]", s.P50)
+	}
+	if s.P95 < 1000 {
+		t.Errorf("p95 bound %g below max-ish", s.P95)
+	}
+	var buf bytes.Buffer
+	reg.Dump(&buf)
+	out := buf.String()
+	for _, want := range []string{"counter runs", "gauge   scale", "hist    lat"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramDuration(t *testing.T) {
+	h := NewRegistry().Histogram("d")
+	h.ObserveDuration(250 * time.Millisecond)
+	if s := h.Stats(); s.Count != 1 || s.Sum != 0.25 {
+		t.Errorf("duration stats wrong: %+v", s)
+	}
+}
+
+func TestJSONLEmitsValidLines(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	tr := NewTracer(j)
+	sp := tr.Start(KScan, "R").SetRows(100, 10)
+	sp.End()
+	tr.Message("EXECUTE")
+	tr.Estimate(Estimate{Expr: "R+S", Join: true, Round: 1, Est: 10, Actual: 0, QError: math.Inf(1)})
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if rec["type"] != "span" {
+		t.Errorf("line 0 type = %v", rec["type"])
+	}
+	span := rec["span"].(map[string]any)
+	if span["kind"] != "scan" || span["rows_in"].(float64) != 100 {
+		t.Errorf("span payload wrong: %v", span)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatalf("line 1 not JSON: %v", err)
+	}
+	if rec["msg"] != "EXECUTE" {
+		t.Errorf("line 1 msg = %v", rec["msg"])
+	}
+	// The +Inf q-error must still encode (clamped), not drop the line.
+	if err := json.Unmarshal([]byte(lines[2]), &rec); err != nil {
+		t.Fatalf("line 2 not JSON: %v", err)
+	}
+	est := rec["estimate"].(map[string]any)
+	if est["expr"] != "R+S" || est["q"].(float64) < 1e300 {
+		t.Errorf("estimate payload wrong: %v", est)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"monsoon/internal/engine"
 	"monsoon/internal/expr"
+	"monsoon/internal/obs"
 	"monsoon/internal/query"
 	"monsoon/internal/sketch"
 	"monsoon/internal/stats"
@@ -53,6 +54,11 @@ func CollectFullStats(q *query.Query, cat *table.Catalog) *stats.Store {
 func CollectOnDemand(q *query.Query, eng *engine.Engine, budget *engine.Budget) (*stats.Store, error) {
 	st := stats.New()
 	eng.SeedBaseStats(q, st)
+	csp := eng.Obs.Start(obs.KCollect, "on-demand")
+	scanned, measured := 0, 0
+	defer func() {
+		csp.SetRows(scanned, 0).SetNum("terms", float64(measured)).End()
+	}()
 	for _, r := range q.Rels {
 		base := eng.Cat.MustGet(r.Table).Renamed(r.Alias)
 		type tracked struct {
@@ -76,8 +82,10 @@ func CollectOnDemand(q *query.Query, eng *engine.Engine, budget *engine.Budget) 
 		}
 		for _, row := range base.Rows {
 			if err := budget.Charge(1); err != nil {
+				csp.SetStr("err", err.Error())
 				return st, err
 			}
+			scanned++
 			for _, t := range ts {
 				v := t.b.Eval(row)
 				if v.IsNull() {
@@ -88,6 +96,7 @@ func CollectOnDemand(q *query.Query, eng *engine.Engine, budget *engine.Budget) 
 		}
 		for _, t := range ts {
 			st.SetMeasured(t.id, query.NewAliasSet(r.Alias).Key(), t.h.Estimate())
+			measured++
 		}
 	}
 	return st, nil
@@ -130,6 +139,12 @@ func CollectSampling(q *query.Query, eng *engine.Engine, budget *engine.Budget,
 	cfg = cfg.withDefaults()
 	st := stats.New()
 	eng.SeedBaseStats(q, st)
+	csp := eng.Obs.Start(obs.KCollect, "sampling")
+	sampled, crossed := 0, 0
+	defer func() {
+		csp.SetRows(sampled+crossed, 0).SetNum("sampled", float64(sampled)).
+			SetNum("crossed", float64(crossed)).End()
+	}()
 
 	samples := make(map[string]*table.Relation) // alias → sampled rows
 	for _, r := range q.Rels {
@@ -147,8 +162,10 @@ func CollectSampling(q *query.Query, eng *engine.Engine, budget *engine.Budget,
 			rows[i] = base.Rows[j]
 		}
 		if err := budget.Charge(len(rows)); err != nil {
+			csp.SetStr("err", err.Error())
 			return st, err
 		}
+		sampled += len(rows)
 		samples[r.Alias] = table.NewRelation(r.Alias, base.Schema, rows)
 	}
 
@@ -194,6 +211,7 @@ func CollectSampling(q *query.Query, eng *engine.Engine, budget *engine.Budget,
 			}
 			if level == len(names) {
 				emitted++
+				crossed++
 				if err := budget.Charge(1); err != nil {
 					return err
 				}
@@ -217,6 +235,7 @@ func CollectSampling(q *query.Query, eng *engine.Engine, budget *engine.Budget,
 			return nil
 		}
 		if err := iterate(0, 0); err != nil {
+			csp.SetStr("err", err.Error())
 			return st, err
 		}
 		pop := 1.0

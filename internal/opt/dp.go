@@ -11,6 +11,7 @@ import (
 	"math/bits"
 
 	"monsoon/internal/cost"
+	"monsoon/internal/obs"
 	"monsoon/internal/plan"
 	"monsoon/internal/query"
 )
@@ -24,6 +25,8 @@ import (
 func BestPlan(q *query.Query, dv *cost.Deriver) (*plan.Node, error) {
 	names := q.Aliases().Names()
 	n := len(names)
+	sp := dv.Obs.Start(obs.KOptimize, "dp").SetNum("relations", float64(n))
+	defer sp.End()
 	if n == 0 {
 		return nil, fmt.Errorf("opt: query %s has no relations", q.Name)
 	}
@@ -91,8 +94,10 @@ func BestPlan(q *query.Query, dv *cost.Deriver) (*plan.Node, error) {
 		}
 	}
 	if trees[full] == nil {
+		sp.SetStr("err", "no plan")
 		return nil, fmt.Errorf("opt: no plan found for %s", q.Name)
 	}
+	sp.SetNum("cost", costs[full]).SetStr("plan", trees[full].String())
 	return trees[full], nil
 }
 
