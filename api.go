@@ -259,6 +259,15 @@ func WithEventSink(sink EventSink) RunOption { return func(c *runConfig) { c.cor
 // which may be shared across runs.
 func WithMetrics(reg *MetricsRegistry) RunOption { return func(c *runConfig) { c.core.Metrics = reg } }
 
+// WithParallelism caps the engine's worker count for the run's partitionable
+// operators (filter scans, hash-join probe, Σ statistics pass): 1 forces the
+// exact serial path, N > 1 uses up to N workers, and 0 (the default) uses
+// runtime.GOMAXPROCS(0). Every setting is bit-identical — same result rows in
+// the same order, same Σ sketch estimates, same plan choices — so the knob
+// trades wall time only; set 1 to take parallelism out of a measurement or
+// when the process must not spawn goroutines.
+func WithParallelism(n int) RunOption { return func(c *runConfig) { c.core.Parallelism = n } }
+
 // WithEpsilonGreedy switches MCTS from UCT to the adaptive ε-greedy
 // selection strategy (§5.1).
 func WithEpsilonGreedy() RunOption {

@@ -2,6 +2,7 @@ package monsoon
 
 import (
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -261,5 +262,29 @@ func TestParseQueryCustomUDF(t *testing.T) {
 	}
 	if rep.Rows == 0 || rep.Rows == 5000 {
 		t.Errorf("bucket filter rows = %d, want a proper subset", rep.Rows)
+	}
+}
+
+func TestWithParallelismDeterministic(t *testing.T) {
+	// The events table (5000 rows) crosses the engine's parallel threshold,
+	// so the fanned-out runs below genuinely exercise the worker pool; the
+	// report must nonetheless be bit-identical to the forced-serial run.
+	run := func(opts ...RunOption) *Report {
+		rep, err := Run(buildQuery(), buildWorld(),
+			append([]RunOption{WithSeed(5), WithIterations(150)}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	serial := run(WithParallelism(1))
+	for _, rep := range []*Report{run(), run(WithParallelism(4))} {
+		if rep.Rows != serial.Rows || rep.Value != serial.Value || rep.Produced != serial.Produced {
+			t.Errorf("parallel run diverged: rows/value/produced %d/%v/%v, serial %d/%v/%v",
+				rep.Rows, rep.Value, rep.Produced, serial.Rows, serial.Value, serial.Produced)
+		}
+		if !reflect.DeepEqual(rep.Output.Rows, serial.Output.Rows) {
+			t.Error("parallel output relation differs from serial (content or order)")
+		}
 	}
 }

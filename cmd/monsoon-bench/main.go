@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	monsoon-bench [-scale tiny|small|medium] [-exp all|table1|table2|...|figure3] [-seed N] [-v] [-metrics] [-trace-json FILE]
+//	monsoon-bench [-scale tiny|small|medium] [-exp all|table1|table2|...|figure3] [-seed N] [-parallelism N] [-v] [-metrics] [-trace-json FILE]
 //
 // Output goes to stdout; progress (with -v) and the -metrics dump to stderr.
 // With -trace-json, every Monsoon run of the campaign streams its structured
@@ -24,6 +24,7 @@ func main() {
 	scaleName := flag.String("scale", "small", "campaign scale: tiny, small, or medium")
 	exp := flag.String("exp", "all", "experiment: all, table1..table8, figure1..figure3, ablation, estimates")
 	seed := flag.Int64("seed", 1, "master seed")
+	par := flag.Int("parallelism", 0, "engine worker count: 0 = all cores, 1 = serial (results are identical either way)")
 	verbose := flag.Bool("v", false, "print per-query progress to stderr")
 	metrics := flag.Bool("metrics", false, "dump the campaign's accumulated Monsoon metrics to stderr on exit")
 	traceJSON := flag.String("trace-json", "", "write the structured traces of the campaign's Monsoon runs as JSON lines to FILE")
@@ -42,6 +43,7 @@ func main() {
 		os.Exit(2)
 	}
 	sc.Seed = *seed
+	sc.Parallelism = *par
 
 	var progress io.Writer
 	if *verbose {

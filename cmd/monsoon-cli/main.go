@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	monsoon-cli -bench tpch|imdb|ott|udf [-query NAME] [-opt monsoon|postgres|defaults|greedy|ondemand|sampling|skinner] [-prior NAME] [-scale tiny|small|medium] [-seed N] [-trace-json FILE] [-metrics]
+//	monsoon-cli -bench tpch|imdb|ott|udf [-query NAME] [-opt monsoon|postgres|defaults|greedy|ondemand|sampling|skinner] [-prior NAME] [-scale tiny|small|medium] [-seed N] [-parallelism N] [-trace-json FILE] [-metrics]
 //
 // Without -query, the available query names for the benchmark are listed.
 package main
@@ -39,6 +39,7 @@ func main() {
 	priorName := flag.String("prior", "Spike and Slab", "Monsoon prior (Table 2 names)")
 	scaleName := flag.String("scale", "tiny", "data scale: tiny, small, or medium")
 	seed := flag.Int64("seed", 1, "seed")
+	par := flag.Int("parallelism", 0, "engine worker count: 0 = all cores, 1 = serial (results are identical either way)")
 	explain := flag.Bool("explain", false, "print the chosen plan with estimates and actuals (postgres, defaults, greedy)")
 	traceJSON := flag.String("trace-json", "", "write the structured trace (spans, messages, estimates) as JSON lines to FILE")
 	metrics := flag.Bool("metrics", false, "dump the run's metrics registry to stderr")
@@ -56,6 +57,7 @@ func main() {
 		fail("unknown scale %q", *scaleName)
 	}
 	sc.Seed = *seed
+	sc.Parallelism = *par
 
 	specs := loadSpecs(*benchName, sc)
 	if *queryName == "" {
@@ -145,21 +147,21 @@ func loadSpecs(bench string, sc harness.Scale) []harness.QuerySpec {
 func pickOption(name string, sc harness.Scale, sink obs.EventSink) harness.Option {
 	switch name {
 	case "postgres":
-		return harness.Postgres{}
+		return harness.Postgres{Parallelism: sc.Parallelism}
 	case "defaults":
-		return harness.Defaults{}
+		return harness.Defaults{Parallelism: sc.Parallelism}
 	case "greedy":
-		return harness.Greedy{}
+		return harness.Greedy{Parallelism: sc.Parallelism}
 	case "ondemand":
-		return harness.OnDemand{Sink: sink}
+		return harness.OnDemand{Sink: sink, Parallelism: sc.Parallelism}
 	case "sampling":
-		return harness.Sampling{Sink: sink}
+		return harness.Sampling{Sink: sink, Parallelism: sc.Parallelism}
 	case "skinner":
-		return harness.Skinner{}
+		return harness.Skinner{Parallelism: sc.Parallelism}
 	case "lec":
-		return harness.LEC{}
+		return harness.LEC{Parallelism: sc.Parallelism}
 	case "handwritten":
-		return harness.HandWritten{}
+		return harness.HandWritten{Parallelism: sc.Parallelism}
 	default:
 		fail("unknown option %q", name)
 		return nil
@@ -172,17 +174,19 @@ func runMonsoonTraced(spec harness.QuerySpec, sc harness.Scale, priorName string
 		fail("unknown prior %q (Table 2 names, e.g. \"Spike and Slab\")", priorName)
 	}
 	eng := engine.New(spec.Cat)
+	eng.Parallelism = sc.Parallelism
 	budget := &engine.Budget{MaxTuples: sc.MaxTuples, Deadline: time.Now().Add(sc.Timeout)}
 	fmt.Printf("Monsoon on %s (prior %s, %d MCTS iterations)\n", spec.Q.Name, p.Name(), sc.MCTSIterations)
 	col := &obs.Collector{}
 	start := time.Now()
 	res, err := core.Run(spec.Q, eng, budget, core.Config{
-		Prior:      p,
-		Iterations: sc.MCTSIterations,
-		Seed:       sc.Seed,
-		Trace:      func(s string) { fmt.Println("  " + s) },
-		Sink:       obs.Multi(col, sink),
-		Metrics:    reg,
+		Prior:       p,
+		Iterations:  sc.MCTSIterations,
+		Seed:        sc.Seed,
+		Trace:       func(s string) { fmt.Println("  " + s) },
+		Sink:        obs.Multi(col, sink),
+		Metrics:     reg,
+		Parallelism: sc.Parallelism,
 	})
 	if err != nil {
 		fail("run failed after %v: %v", time.Since(start), err)
@@ -234,6 +238,7 @@ func fail(format string, args ...any) {
 // tree (estimates first, then actuals after execution), and reports the run.
 func runExplained(spec harness.QuerySpec, sc harness.Scale, optName string, sink obs.EventSink) {
 	eng := engine.New(spec.Cat)
+	eng.Parallelism = sc.Parallelism
 	eng.Obs = obs.NewTracer(sink)
 	var st *stats.Store
 	switch optName {

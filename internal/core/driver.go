@@ -50,6 +50,12 @@ type Config struct {
 	// (actions, executes, Σ ops, planning latency, per-join q-error)
 	// across runs sharing the registry.
 	Metrics *obs.Registry
+	// Parallelism, when non-zero, overrides the engine's worker count for
+	// this run's EXECUTE steps: 1 forces the exact serial path, N > 1 caps
+	// the partitioned operators at N workers. Serial and parallel runs are
+	// bit-identical — same result rows, Σ estimates, and plan choices —
+	// so the knob trades wall time only.
+	Parallelism int
 }
 
 // Result reports a completed (or timed-out) Monsoon run, including the
@@ -99,6 +105,11 @@ func Run(q *query.Query, eng *engine.Engine, budget *engine.Budget, cfg Config) 
 	prevObs := eng.Obs
 	eng.Obs = tr
 	defer func() { eng.Obs = prevObs }()
+	if cfg.Parallelism != 0 {
+		prevPar := eng.Parallelism
+		eng.Parallelism = cfg.Parallelism
+		defer func() { eng.Parallelism = prevPar }()
+	}
 
 	model := &Model{
 		Q: q, Prior: cfg.Prior,
@@ -127,14 +138,17 @@ func Run(q *query.Query, eng *engine.Engine, budget *engine.Budget, cfg Config) 
 		psp := tr.Start(obs.KPlan, "mcts")
 		picked := planner.Plan(model, s)
 		planElapsed := time.Since(t0)
-		if ps := planner.LastStats(); psp != nil {
-			psp.SetNum("rollouts", float64(ps.Rollouts)).
-				SetNum("root_actions", float64(ps.RootActions)).
-				SetNum("tree_depth", float64(ps.MaxDepth)).
-				SetNum("nodes", float64(ps.Nodes))
-			if ps.FastPath {
-				psp.SetStr("fast_path", "true")
-			}
+		// LastStats is a value, valid on every return from Plan, so it needs
+		// no guard of its own; the span setters are nil-safe no-ops when no
+		// sink is attached. (A previous version guarded on the span variable
+		// by accident, silently keying the stats block to the tracer.)
+		ps := planner.LastStats()
+		psp.SetNum("rollouts", float64(ps.Rollouts)).
+			SetNum("root_actions", float64(ps.RootActions)).
+			SetNum("tree_depth", float64(ps.MaxDepth)).
+			SetNum("nodes", float64(ps.Nodes))
+		if ps.FastPath {
+			psp.SetStr("fast_path", "true")
 		}
 		psp.End()
 		res.PlanTime += planElapsed

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"monsoon/internal/engine"
+	"monsoon/internal/expr"
+	"monsoon/internal/obs"
+	"monsoon/internal/query"
+	"monsoon/internal/table"
+	"monsoon/internal/value"
+)
+
+// bigFixture is the core-level parallel fixture: tables large enough that the
+// engine's parallel paths (threshold 4096 rows) actually engage during the
+// MDP loop's EXECUTE rounds.
+func bigFixture() (*table.Catalog, *query.Query) {
+	cat := table.NewCatalog()
+	rs := table.NewSchema(
+		table.Column{Table: "BR", Name: "a", Kind: value.KindInt},
+		table.Column{Table: "BR", Name: "b", Kind: value.KindInt},
+	)
+	rb := table.NewBuilder("BR", rs)
+	for i := 0; i < 20000; i++ {
+		rb.Add(value.Int(int64(i%800)), value.Int(int64(i%11)))
+	}
+	cat.Put(rb.Build())
+	ss := table.NewSchema(table.Column{Table: "BS", Name: "k", Kind: value.KindInt})
+	sb := table.NewBuilder("BS", ss)
+	for i := 0; i < 6000; i++ {
+		sb.Add(value.Int(int64(i % 800)))
+	}
+	cat.Put(sb.Build())
+	q := query.NewBuilder("bigrst").
+		Rel("BR", "BR").Rel("BS", "BS").
+		Join(expr.Identity("BR.a"), expr.Identity("BS.k")).
+		Select(expr.Identity("BR.b"), value.Int(4)).
+		MustBuild()
+	return cat, q
+}
+
+// TestRunSerialParallelIdentical is the driver-level determinism gate: the
+// full MDP loop — MCTS planning, Σ passes, hardened statistics, EXECUTE
+// rounds — must settle on the same multi-step plan and the same answer
+// whether the engine runs serial or fanned out.
+func TestRunSerialParallelIdentical(t *testing.T) {
+	run := func(par int) *Result {
+		cat, q := bigFixture()
+		eng := engine.New(cat)
+		res, err := Run(q, eng, &engine.Budget{}, Config{
+			Seed: 13, Iterations: 200, Parallelism: par,
+		})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		return res
+	}
+	ser := run(1)
+	for _, par := range []int{0, 4} {
+		p := run(par)
+		if p.Value != ser.Value || p.Rows != ser.Rows || p.Produced != ser.Produced {
+			t.Errorf("parallelism %d: value/rows/produced %v/%d/%v, serial %v/%d/%v",
+				par, p.Value, p.Rows, p.Produced, ser.Value, ser.Rows, ser.Produced)
+		}
+		if p.Actions != ser.Actions || p.Executes != ser.Executes || p.SigmaOps != ser.SigmaOps {
+			t.Errorf("parallelism %d: MDP trajectory diverged: %+v vs %+v", par, p, ser)
+		}
+		if len(p.Executed) != len(ser.Executed) {
+			t.Fatalf("parallelism %d: %d executed trees, serial %d", par, len(p.Executed), len(ser.Executed))
+		}
+		for i := range p.Executed {
+			if p.Executed[i].String() != ser.Executed[i].String() {
+				t.Errorf("parallelism %d: executed tree %d is %s, serial %s",
+					par, i, p.Executed[i], ser.Executed[i])
+			}
+		}
+	}
+}
+
+// TestPlanSpansCarryStats pins the plan-span telemetry: when a sink is
+// attached, every MCTS plan span must carry the planner's rollout and
+// root-action statistics. (A previous guard compared the wrong variable and
+// silently dropped these attributes whenever tracing was on.)
+func TestPlanSpansCarryStats(t *testing.T) {
+	cat, q := fixture()
+	eng := engine.New(cat)
+	col := &obs.Collector{}
+	res, err := Run(q, eng, &engine.Budget{}, Config{Seed: 7, Iterations: 300, Sink: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := col.SpansOf(obs.KPlan)
+	if len(plans) != res.Actions {
+		t.Fatalf("plan spans = %d, want one per action = %d", len(plans), res.Actions)
+	}
+	for i, sp := range plans {
+		for _, key := range []string{"rollouts", "root_actions", "tree_depth", "nodes"} {
+			if _, ok := sp.Num[key]; !ok {
+				t.Errorf("plan span %d missing %q attribute (attrs: %v)", i, key, sp.Num)
+			}
+		}
+		// A fast-path span legitimately reports zero rollouts; a full MCTS
+		// call must report at least one.
+		if sp.Str["fast_path"] == "" && sp.Num["rollouts"] < 1 {
+			t.Errorf("plan span %d: full MCTS call reports %v rollouts", i, sp.Num["rollouts"])
+		}
+		if sp.Num["root_actions"] < 1 {
+			t.Errorf("plan span %d: root_actions = %v, want >= 1", i, sp.Num["root_actions"])
+		}
+	}
+}

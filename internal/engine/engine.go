@@ -14,6 +14,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"monsoon/internal/expr"
@@ -31,33 +32,36 @@ import (
 var ErrBudget = errors.New("engine: execution budget exhausted")
 
 // Budget bounds one query execution. Zero values disable a bound. A single
-// Budget is shared across every EXECUTE step of a multi-step query.
+// Budget is shared across every EXECUTE step of a multi-step query, and —
+// since the engine's partitionable operators charge it from worker
+// goroutines — its accounting is atomic. Deadline and MaxTuples must be set
+// before execution starts and not mutated afterwards.
 type Budget struct {
 	Deadline  time.Time
 	MaxTuples float64
 
-	produced float64
-	checkCtr int
+	produced atomic.Int64
+	checkCtr atomic.Int64
 }
 
 // Charge accounts n produced tuples and reports ErrBudget when a bound is
-// exceeded. The deadline is polled roughly every thousand tuples to keep it off
-// the per-tuple path.
+// exceeded. Safe for concurrent use. The deadline is polled roughly every
+// thousand tuples to keep it off the per-tuple path; a concurrent reset may
+// occasionally stretch the polling interval, never the tuple bound.
 func (b *Budget) Charge(n int) error {
 	if b == nil {
 		return nil
 	}
-	b.produced += float64(n)
-	if b.MaxTuples > 0 && b.produced > b.MaxTuples {
+	p := b.produced.Add(int64(n))
+	if b.MaxTuples > 0 && float64(p) > b.MaxTuples {
 		return ErrBudget
 	}
-	if n > 1 {
-		b.checkCtr += n
-	} else {
-		b.checkCtr++
+	inc := int64(n)
+	if inc < 1 {
+		inc = 1
 	}
-	if b.checkCtr >= 1024 {
-		b.checkCtr = 0
+	if b.checkCtr.Add(inc) >= 1024 {
+		b.checkCtr.Store(0)
 		if !b.Deadline.IsZero() && time.Now().After(b.Deadline) {
 			return ErrBudget
 		}
@@ -70,7 +74,7 @@ func (b *Budget) Produced() float64 {
 	if b == nil {
 		return 0
 	}
-	return b.produced
+	return float64(b.produced.Load())
 }
 
 // SigmaObs is one distinct-value measurement produced by a Σ operator.
@@ -107,6 +111,12 @@ type Engine struct {
 	// hash-build/probe, nested loop, Σ pass) with rows-in/rows-out and wall
 	// time. Nil (the default) costs nothing: every tracer call no-ops.
 	Obs *obs.Tracer
+	// Parallelism caps the worker count of the partitionable operators
+	// (filter scans, hash-join probe, Σ pass): 0 means
+	// runtime.GOMAXPROCS(0), 1 forces the exact serial legacy path. Every
+	// setting produces bit-identical results — same row order, same Σ
+	// estimates, same budget totals — so the knob trades wall time only.
+	Parallelism int
 
 	mats map[string]*table.Relation
 }
@@ -215,38 +225,47 @@ func (e *Engine) execLeaf(q *query.Query, n *plan.Node, budget *Budget) (*table.
 		sp.SetRows(base.Count(), base.Count()).SetProduced(float64(base.Count())).End()
 		return base, nil
 	}
-	type boundSel struct {
-		b *expr.Binding
-		k value.Value
+	bound, ok := bindSels(sels, base.Schema)
+	if !ok {
+		sp.End()
+		return nil, fmt.Errorf("engine: selections not bindable on %s", base.Schema)
 	}
-	bound := make([]boundSel, 0, len(sels))
-	for _, s := range sels {
-		b, ok := s.T.Fn.Bind(base.Schema)
-		if !ok {
-			sp.End()
-			return nil, fmt.Errorf("engine: selection %s not bindable on %s", s, base.Schema)
+	var out []table.Row
+	if w := e.workers(base.Count()); w > 1 {
+		sp.SetNum("workers", float64(w))
+		pout, err := parallelFilter(base, sels, budget, w)
+		if err != nil {
+			sp.SetRows(base.Count(), len(pout)).SetStr("err", err.Error()).End()
+			return nil, err
 		}
-		bound = append(bound, boundSel{b: b, k: s.Const})
-	}
-	out := make([]table.Row, 0, base.Count()/4+1)
-	for _, row := range base.Rows {
-		keep := true
-		for _, s := range bound {
-			if !s.b.Eval(row).Equal(s.k) {
-				keep = false
-				break
+		out = pout
+	} else {
+		out = make([]table.Row, 0, base.Count()/4+1)
+		for _, row := range base.Rows {
+			keep := true
+			for _, s := range bound {
+				if !s.b.Eval(row).Equal(s.k) {
+					keep = false
+					break
+				}
 			}
-		}
-		if keep {
-			out = append(out, row)
-			if err := budget.Charge(1); err != nil {
-				sp.SetRows(base.Count(), len(out)).SetStr("err", err.Error()).End()
-				return nil, err
+			if keep {
+				out = append(out, row)
+				if err := budget.Charge(1); err != nil {
+					sp.SetRows(base.Count(), len(out)).SetStr("err", err.Error()).End()
+					return nil, err
+				}
 			}
 		}
 	}
 	sp.SetRows(base.Count(), len(out)).SetProduced(float64(len(out))).End()
 	return table.NewRelation(key, base.Schema, out), nil
+}
+
+// boundSel is one pushed-down selection bound to a concrete schema.
+type boundSel struct {
+	b *expr.Binding
+	k value.Value
 }
 
 // residual is a predicate evaluated per joined row pair.
@@ -337,13 +356,9 @@ func (e *Engine) hashJoin(left, right *table.Relation, buildTerm, probeTerm *que
 	if !ok {
 		return nil, fmt.Errorf("engine: term %s not bindable on probe side", pTerm)
 	}
-	type bucket struct {
-		key  value.Value
-		rows []int
-	}
 	bsp := e.Obs.Start(obs.KHashBuild, name)
 	inserted := 0
-	ht := make(map[uint64][]bucket, buildRel.Count())
+	ht := make(hashTable, buildRel.Count())
 	for i, row := range buildRel.Rows {
 		// Building over a huge materialized input produces nothing but must
 		// still honor the deadline.
@@ -374,40 +389,50 @@ func (e *Engine) hashJoin(left, right *table.Relation, buildTerm, probeTerm *que
 	bsp.SetRows(buildRel.Count(), inserted).SetNum("residuals", float64(len(residuals))).End()
 	psp := e.Obs.Start(obs.KHashProbe, name)
 	var out []table.Row
-	scratch := make(table.Row, len(outSchema.Cols))
-	for _, prow := range probeRel.Rows {
-		// Matchless probes produce nothing; poll the deadline anyway.
-		if err := budget.Charge(0); err != nil {
-			psp.SetRows(probeRel.Count(), len(out)).SetStr("err", err.Error()).End()
+	if w := e.workers(probeRel.Count()); w > 1 {
+		psp.SetNum("workers", float64(w))
+		pout, err := parallelProbe(buildRel, probeRel, ht, pTerm, residuals, outSchema, leftIsBuild, budget, w)
+		if err != nil {
+			psp.SetRows(probeRel.Count(), len(pout)).SetStr("err", err.Error()).End()
 			return nil, err
 		}
-		k := pb.Eval(prow)
-		if k.IsNull() {
-			continue
-		}
-		for _, b := range ht[k.Hash()] {
-			if !b.key.Equal(k) {
+		out = pout
+	} else {
+		scratch := make(table.Row, len(outSchema.Cols))
+		for _, prow := range probeRel.Rows {
+			// Matchless probes produce nothing; poll the deadline anyway.
+			if err := budget.Charge(0); err != nil {
+				psp.SetRows(probeRel.Count(), len(out)).SetStr("err", err.Error()).End()
+				return nil, err
+			}
+			k := pb.Eval(prow)
+			if k.IsNull() {
 				continue
 			}
-			for _, bi := range b.rows {
-				brow := buildRel.Rows[bi]
-				var lrow, rrow table.Row
-				if leftIsBuild {
-					lrow, rrow = brow, prow
-				} else {
-					lrow, rrow = prow, brow
-				}
-				copy(scratch, lrow)
-				copy(scratch[len(lrow):], rrow)
-				if !passResiduals(scratch, residuals) {
+			for _, b := range ht[k.Hash()] {
+				if !b.key.Equal(k) {
 					continue
 				}
-				joined := make(table.Row, len(scratch))
-				copy(joined, scratch)
-				out = append(out, joined)
-				if err := budget.Charge(1); err != nil {
-					psp.SetRows(probeRel.Count(), len(out)).SetStr("err", err.Error()).End()
-					return nil, err
+				for _, bi := range b.rows {
+					brow := buildRel.Rows[bi]
+					var lrow, rrow table.Row
+					if leftIsBuild {
+						lrow, rrow = brow, prow
+					} else {
+						lrow, rrow = prow, brow
+					}
+					copy(scratch, lrow)
+					copy(scratch[len(lrow):], rrow)
+					if !passResiduals(scratch, residuals) {
+						continue
+					}
+					joined := make(table.Row, len(scratch))
+					copy(joined, scratch)
+					out = append(out, joined)
+					if err := budget.Charge(1); err != nil {
+						psp.SetRows(probeRel.Count(), len(out)).SetStr("err", err.Error()).End()
+						return nil, err
+					}
 				}
 			}
 		}
@@ -416,23 +441,37 @@ func (e *Engine) hashJoin(left, right *table.Relation, buildTerm, probeTerm *que
 	return table.NewRelation(name, outSchema, out), nil
 }
 
+// bucket chains the build rows of one join-key value; hashTable maps key
+// hashes to their (collision-chained) buckets. After the build phase the
+// table is read-only, so probe workers share it without locks.
+type bucket struct {
+	key  value.Value
+	rows []int
+}
+
+type hashTable map[uint64][]bucket
+
 // nestedLoop computes the filtered product; it is the only strategy when no
 // predicate separates the children (pure cross products and crossing
-// multi-table UDF terms).
+// multi-table UDF terms). Its span reports rows-in as the number of row
+// pairs scanned — the full cross product on completion — since that, not the
+// sum of the input sizes, is the work the operator actually does.
 func (e *Engine) nestedLoop(left, right *table.Relation, residuals []residual,
 	outSchema *table.Schema, name string, budget *Budget) (*table.Relation, error) {
 	sp := e.Obs.Start(obs.KNestedLoop, name).SetNum("residuals", float64(len(residuals)))
 	var out []table.Row
+	pairs := 0
 	scratch := make(table.Row, len(outSchema.Cols))
 	for _, lrow := range left.Rows {
 		copy(scratch, lrow)
 		for _, rrow := range right.Rows {
+			pairs++
 			copy(scratch[len(lrow):], rrow)
 			if !passResiduals(scratch, residuals) {
 				// Even rejected pairs consume work in a nested loop; charge
 				// them against the deadline occasionally via a zero charge.
 				if err := budget.Charge(0); err != nil {
-					sp.SetRows(left.Count()+right.Count(), len(out)).SetStr("err", err.Error()).End()
+					sp.SetRows(pairs, len(out)).SetStr("err", err.Error()).End()
 					return nil, err
 				}
 				continue
@@ -441,12 +480,12 @@ func (e *Engine) nestedLoop(left, right *table.Relation, residuals []residual,
 			copy(joined, scratch)
 			out = append(out, joined)
 			if err := budget.Charge(1); err != nil {
-				sp.SetRows(left.Count()+right.Count(), len(out)).SetStr("err", err.Error()).End()
+				sp.SetRows(pairs, len(out)).SetStr("err", err.Error()).End()
 				return nil, err
 			}
 		}
 	}
-	sp.SetRows(left.Count()+right.Count(), len(out)).SetProduced(float64(len(out))).End()
+	sp.SetRows(pairs, len(out)).SetProduced(float64(len(out))).End()
 	return table.NewRelation(name, outSchema, out), nil
 }
 
@@ -490,17 +529,33 @@ func (e *Engine) collectSigma(q *query.Query, n *plan.Node, rel *table.Relation,
 		ts = append(ts, tracked{term: t, b: b, h: sketch.NewHLL(p)})
 	}
 	sp := e.Obs.Start(obs.KSigma, n.Key()).SetNum("terms", float64(len(ts)))
-	for _, row := range rel.Rows {
-		if err := budget.Charge(1); err != nil {
+	if w := e.workers(rel.Count()); w > 1 && len(ts) > 0 {
+		sp.SetNum("workers", float64(w))
+		terms := make([]*query.Term, len(ts))
+		for i, t := range ts {
+			terms[i] = t.term
+		}
+		merged, err := parallelSigma(rel, terms, p, budget, w)
+		if err != nil {
 			sp.SetRows(rel.Count(), 0).SetStr("err", err.Error()).End()
 			return err
 		}
-		for _, t := range ts {
-			v := t.b.Eval(row)
-			if v.IsNull() {
-				continue
+		for i := range ts {
+			ts[i].h = merged[i]
+		}
+	} else {
+		for _, row := range rel.Rows {
+			if err := budget.Charge(1); err != nil {
+				sp.SetRows(rel.Count(), 0).SetStr("err", err.Error()).End()
+				return err
 			}
-			t.h.Add(v.Hash())
+			for _, t := range ts {
+				v := t.b.Eval(row)
+				if v.IsNull() {
+					continue
+				}
+				t.h.Add(v.Hash())
+			}
 		}
 	}
 	res.Produced += float64(rel.Count()) // the extra pass, §4.4

@@ -1,0 +1,262 @@
+// Parallel execution paths for the engine's partitionable operators: filter
+// scans, the probe side of hash joins, and the Σ statistics pass. All three
+// follow the same recipe — split the input into contiguous chunks, give every
+// worker its own bindings, scratch row, and output buffer, and stitch the
+// buffers back together in input order — so a parallel run is bit-identical
+// to the serial one: same row order, same Σ sketch estimates (HLL register
+// merge is order-independent), same budget totals. Only wall time changes.
+package engine
+
+import (
+	"runtime"
+	"sync"
+
+	"monsoon/internal/expr"
+	"monsoon/internal/query"
+	"monsoon/internal/sketch"
+	"monsoon/internal/table"
+)
+
+const (
+	// parallelMinRows is the smallest input for which fanning out pays;
+	// below it the goroutine handoff costs more than the scan.
+	parallelMinRows = 4096
+	// parallelMinChunk bounds the worker count so every worker has a
+	// meaningful slice of the input.
+	parallelMinChunk = 1024
+)
+
+// workers resolves the engine's Parallelism knob for an operator over n input
+// rows: 0 means runtime.GOMAXPROCS(0), 1 forces the serial legacy path, and
+// any setting degrades to 1 when the input is too small to be worth
+// splitting.
+func (e *Engine) workers(n int) int {
+	w := e.Parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w <= 1 || n < parallelMinRows {
+		return 1
+	}
+	if max := n / parallelMinChunk; w > max {
+		w = max
+	}
+	return w
+}
+
+// splitRows partitions [0,n) into w contiguous [lo,hi) ranges whose sizes
+// differ by at most one row.
+func splitRows(n, w int) [][2]int {
+	out := make([][2]int, 0, w)
+	base, rem := n/w, n%w
+	lo := 0
+	for i := 0; i < w; i++ {
+		hi := lo + base
+		if i < rem {
+			hi++
+		}
+		out = append(out, [2]int{lo, hi})
+		lo = hi
+	}
+	return out
+}
+
+// runWorkers fans fn out over w contiguous partitions of n rows and returns
+// the error of the lowest-numbered failing partition (deterministic even when
+// several workers trip the budget at once).
+func runWorkers(n, w int, fn func(worker, lo, hi int) error) error {
+	parts := splitRows(n, w)
+	errs := make([]error, w)
+	var wg sync.WaitGroup
+	for i, p := range parts {
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			errs[i] = fn(i, lo, hi)
+		}(i, p[0], p[1])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stitch concatenates per-worker output buffers in partition order, which is
+// exactly the order the serial loop would have produced.
+func stitch(bufs [][]table.Row) []table.Row {
+	total := 0
+	for _, b := range bufs {
+		total += len(b)
+	}
+	out := make([]table.Row, 0, total)
+	for _, b := range bufs {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// bindSels resolves every pushed-down selection against a schema. Bindings
+// hold per-evaluation scratch, so each worker binds its own set.
+func bindSels(sels []*query.SelPred, s *table.Schema) ([]boundSel, bool) {
+	bound := make([]boundSel, 0, len(sels))
+	for _, sel := range sels {
+		b, ok := sel.T.Fn.Bind(s)
+		if !ok {
+			return nil, false
+		}
+		bound = append(bound, boundSel{b: b, k: sel.Const})
+	}
+	return bound, true
+}
+
+// rebindResiduals gives a worker its own residual bindings over the output
+// schema (the shared ones carry scratch buffers and must not be shared).
+func rebindResiduals(residuals []residual, s *table.Schema) []residual {
+	if len(residuals) == 0 {
+		return nil
+	}
+	out := make([]residual, len(residuals))
+	for i, r := range residuals {
+		if r.sb != nil {
+			sb, _ := r.sb.UDF().Bind(s)
+			out[i] = residual{sb: sb, k: r.k}
+			continue
+		}
+		lb, _ := r.lb.UDF().Bind(s)
+		rb, _ := r.rb.UDF().Bind(s)
+		out[i] = residual{lb: lb, rb: rb}
+	}
+	return out
+}
+
+// parallelFilter is the fan-out version of execLeaf's selection scan: chunked
+// input, per-worker bindings and buffers, outputs stitched in input order.
+// Every binding was validated by the caller, so worker rebinds cannot fail.
+func parallelFilter(base *table.Relation, sels []*query.SelPred, budget *Budget, w int) ([]table.Row, error) {
+	bufs := make([][]table.Row, w)
+	err := runWorkers(base.Count(), w, func(worker, lo, hi int) error {
+		bound, _ := bindSels(sels, base.Schema)
+		out := make([]table.Row, 0, (hi-lo)/4+1)
+		for _, row := range base.Rows[lo:hi] {
+			keep := true
+			for _, s := range bound {
+				if !s.b.Eval(row).Equal(s.k) {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				out = append(out, row)
+				if err := budget.Charge(1); err != nil {
+					bufs[worker] = out
+					return err
+				}
+			}
+		}
+		bufs[worker] = out
+		return nil
+	})
+	return stitch(bufs), err
+}
+
+// parallelProbe is the fan-out version of the hash-join probe loop: the hash
+// table is shared read-only, the probe side is chunked, and per-worker output
+// buffers are stitched back in probe order.
+func parallelProbe(buildRel, probeRel *table.Relation, ht hashTable, pTerm *query.Term,
+	residuals []residual, outSchema *table.Schema, leftIsBuild bool, budget *Budget, w int) ([]table.Row, error) {
+	bufs := make([][]table.Row, w)
+	err := runWorkers(probeRel.Count(), w, func(worker, lo, hi int) error {
+		pb, _ := pTerm.Fn.Bind(probeRel.Schema)
+		res := rebindResiduals(residuals, outSchema)
+		scratch := make(table.Row, len(outSchema.Cols))
+		var out []table.Row
+		for _, prow := range probeRel.Rows[lo:hi] {
+			// Matchless probes produce nothing; poll the deadline anyway.
+			if err := budget.Charge(0); err != nil {
+				bufs[worker] = out
+				return err
+			}
+			k := pb.Eval(prow)
+			if k.IsNull() {
+				continue
+			}
+			for _, b := range ht[k.Hash()] {
+				if !b.key.Equal(k) {
+					continue
+				}
+				for _, bi := range b.rows {
+					brow := buildRel.Rows[bi]
+					var lrow, rrow table.Row
+					if leftIsBuild {
+						lrow, rrow = brow, prow
+					} else {
+						lrow, rrow = prow, brow
+					}
+					copy(scratch, lrow)
+					copy(scratch[len(lrow):], rrow)
+					if !passResiduals(scratch, res) {
+						continue
+					}
+					joined := make(table.Row, len(scratch))
+					copy(joined, scratch)
+					out = append(out, joined)
+					if err := budget.Charge(1); err != nil {
+						bufs[worker] = out
+						return err
+					}
+				}
+			}
+		}
+		bufs[worker] = out
+		return nil
+	})
+	return stitch(bufs), err
+}
+
+// sigmaSketches holds one worker's (or the merged) HLL per tracked term, in
+// the caller's term order.
+type sigmaSketches []*sketch.HLL
+
+// parallelSigma runs the Σ pass fan-out: each worker clones one HLL per term,
+// scans its chunk, and the clones are merged register-wise afterwards — the
+// merge is a per-register max, so the merged estimate is identical to the
+// serial single-sketch estimate regardless of partitioning.
+func parallelSigma(rel *table.Relation, terms []*query.Term, p uint8, budget *Budget, w int) (sigmaSketches, error) {
+	clones := make([]sigmaSketches, w)
+	err := runWorkers(rel.Count(), w, func(worker, lo, hi int) error {
+		bs := make([]*expr.Binding, len(terms))
+		hs := make(sigmaSketches, len(terms))
+		for i, t := range terms {
+			bs[i], _ = t.Fn.Bind(rel.Schema)
+			hs[i] = sketch.NewHLL(p)
+		}
+		clones[worker] = hs
+		for _, row := range rel.Rows[lo:hi] {
+			if err := budget.Charge(1); err != nil {
+				return err
+			}
+			for i, b := range bs {
+				v := b.Eval(row)
+				if v.IsNull() {
+					continue
+				}
+				hs[i].Add(v.Hash())
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := make(sigmaSketches, len(terms))
+	for i := range terms {
+		merged[i] = sketch.NewHLL(p)
+		for _, hs := range clones {
+			merged[i].Merge(hs[i])
+		}
+	}
+	return merged, nil
+}

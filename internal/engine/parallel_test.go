@@ -1,0 +1,223 @@
+package engine
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"monsoon/internal/expr"
+	"monsoon/internal/obs"
+	"monsoon/internal/plan"
+	"monsoon/internal/query"
+	"monsoon/internal/table"
+	"monsoon/internal/value"
+)
+
+// bigFixture builds a catalog large enough to cross the engine's
+// parallelMinRows threshold on both the scan and the probe side:
+//
+//	BR: 30000 rows, BR.a = i%1500 (1500 distinct), BR.b = i%7
+//	BS: 9000 rows,  BS.k = i%1500 (1500 distinct)
+func bigFixture() *table.Catalog {
+	cat := table.NewCatalog()
+	rs := table.NewSchema(
+		table.Column{Table: "BR", Name: "a", Kind: value.KindInt},
+		table.Column{Table: "BR", Name: "b", Kind: value.KindInt},
+	)
+	rb := table.NewBuilder("BR", rs)
+	for i := 0; i < 30000; i++ {
+		rb.Add(value.Int(int64(i%1500)), value.Int(int64(i%7)))
+	}
+	cat.Put(rb.Build())
+	ss := table.NewSchema(table.Column{Table: "BS", Name: "k", Kind: value.KindInt})
+	sb := table.NewBuilder("BS", ss)
+	for i := 0; i < 9000; i++ {
+		sb.Add(value.Int(int64(i % 1500)))
+	}
+	cat.Put(sb.Build())
+	return cat
+}
+
+func bigQuery() *query.Query {
+	return query.NewBuilder("big").
+		Rel("BR", "BR").Rel("BS", "BS").
+		Join(expr.Identity("BR.a"), expr.Identity("BS.k")).
+		Select(expr.Identity("BR.b"), value.Int(3)).
+		MustBuild()
+}
+
+// TestSerialParallelIdentical is the determinism gate for the parallel
+// execution path: a serial run (Parallelism = 1) and a parallel run must
+// produce bit-identical relations (row order included), identical hardened
+// counts and Σ sketch estimates, and identical budget totals.
+func TestSerialParallelIdentical(t *testing.T) {
+	cat := bigFixture()
+	q := bigQuery()
+	tree := plan.NewJoin(leaf("BR"), leaf("BS")).WithSigma()
+
+	run := func(par int) (*table.Relation, *ExecResult, float64) {
+		e := New(cat)
+		e.Parallelism = par
+		b := &Budget{}
+		rel, res, err := e.ExecTree(q, tree, b)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		return rel, res, b.Produced()
+	}
+	srel, sres, sprod := run(1)
+	for _, par := range []int{0, 2, 3, 8} {
+		prel, pres, pprod := run(par)
+		if prel.Count() != srel.Count() {
+			t.Fatalf("parallelism %d: %d rows, serial %d", par, prel.Count(), srel.Count())
+		}
+		if !reflect.DeepEqual(prel.Rows, srel.Rows) {
+			t.Fatalf("parallelism %d: row content or order differs from serial", par)
+		}
+		if !reflect.DeepEqual(pres.Counts, sres.Counts) {
+			t.Errorf("parallelism %d: counts %v, serial %v", par, pres.Counts, sres.Counts)
+		}
+		if pres.Produced != sres.Produced || pprod != sprod {
+			t.Errorf("parallelism %d: produced %v/%v, serial %v/%v",
+				par, pres.Produced, pprod, sres.Produced, sprod)
+		}
+		if !reflect.DeepEqual(pres.Sigma, sres.Sigma) {
+			t.Errorf("parallelism %d: Σ observations %v, serial %v", par, pres.Sigma, sres.Sigma)
+		}
+	}
+}
+
+// TestParallelSpansCarryWorkers pins the span-stream contract of the parallel
+// path: scan, hash-probe, and Σ spans report the worker count, rows in/out
+// identical to the serial run, and the span sequence itself is unchanged.
+func TestParallelSpansCarryWorkers(t *testing.T) {
+	cat := bigFixture()
+	q := bigQuery()
+	tree := plan.NewJoin(leaf("BR"), leaf("BS")).WithSigma()
+
+	trace := func(par int) *obs.Collector {
+		col := &obs.Collector{}
+		e := New(cat)
+		e.Parallelism = par
+		e.Obs = obs.NewTracer(col)
+		if _, _, err := e.ExecTree(q, tree, &Budget{}); err != nil {
+			t.Fatal(err)
+		}
+		return col
+	}
+	ser, p := trace(1), trace(4)
+	if len(ser.Spans) != len(p.Spans) {
+		t.Fatalf("span count changed: serial %d, parallel %d", len(ser.Spans), len(p.Spans))
+	}
+	sawWorkers := 0
+	for i, psp := range p.Spans {
+		ssp := ser.Spans[i]
+		if psp.Kind != ssp.Kind || psp.RowsIn != ssp.RowsIn || psp.RowsOut != ssp.RowsOut {
+			t.Errorf("span %d: parallel %s %d/%d vs serial %s %d/%d",
+				i, psp.Kind, psp.RowsIn, psp.RowsOut, ssp.Kind, ssp.RowsIn, ssp.RowsOut)
+		}
+		if w, ok := psp.Num["workers"]; ok {
+			sawWorkers++
+			if w < 2 {
+				t.Errorf("span %d (%s): workers attribute %v, want >= 2", i, psp.Kind, w)
+			}
+			switch psp.Kind {
+			case obs.KScan, obs.KHashProbe, obs.KSigma:
+			default:
+				t.Errorf("span %d: workers attribute on unexpected kind %s", i, psp.Kind)
+			}
+		}
+	}
+	if sawWorkers == 0 {
+		t.Error("no span carried a workers attribute; parallel path never engaged")
+	}
+	for _, ssp := range ser.Spans {
+		if _, ok := ssp.Num["workers"]; ok {
+			t.Errorf("serial span %s carries a workers attribute", ssp.Kind)
+		}
+	}
+}
+
+// TestParallelBudgetAbort: a tuple budget trips the parallel path with
+// ErrBudget exactly as it does the serial one.
+func TestParallelBudgetAbort(t *testing.T) {
+	cat := bigFixture()
+	q := bigQuery()
+	tree := plan.NewJoin(leaf("BR"), leaf("BS"))
+	for _, par := range []int{1, 4} {
+		e := New(cat)
+		e.Parallelism = par
+		_, _, err := e.ExecTree(q, tree, &Budget{MaxTuples: 1000})
+		if !errors.Is(err, ErrBudget) {
+			t.Errorf("parallelism %d: err = %v, want ErrBudget", par, err)
+		}
+	}
+}
+
+// TestSplitRows: the partitioner covers [0,n) exactly once, in order.
+func TestSplitRows(t *testing.T) {
+	for _, tc := range []struct{ n, w int }{{10, 3}, {4096, 4}, {7, 7}, {5, 1}, {1024, 2}} {
+		parts := splitRows(tc.n, tc.w)
+		if len(parts) != tc.w {
+			t.Fatalf("splitRows(%d,%d): %d parts", tc.n, tc.w, len(parts))
+		}
+		next := 0
+		for _, p := range parts {
+			if p[0] != next || p[1] < p[0] {
+				t.Fatalf("splitRows(%d,%d): bad range %v at offset %d", tc.n, tc.w, p, next)
+			}
+			next = p[1]
+		}
+		if next != tc.n {
+			t.Fatalf("splitRows(%d,%d): covered %d rows", tc.n, tc.w, next)
+		}
+	}
+}
+
+// TestWorkersKnob pins the knob semantics: 1 is serial, 0 defaults to the
+// machine width, small inputs never fan out, and chunks stay meaningful.
+func TestWorkersKnob(t *testing.T) {
+	e := New(table.NewCatalog())
+	e.Parallelism = 1
+	if w := e.workers(1 << 20); w != 1 {
+		t.Errorf("Parallelism 1: workers = %d", w)
+	}
+	e.Parallelism = 8
+	if w := e.workers(100); w != 1 {
+		t.Errorf("tiny input: workers = %d, want 1", w)
+	}
+	if w := e.workers(parallelMinRows); w < 2 || w > parallelMinRows/parallelMinChunk {
+		t.Errorf("threshold input: workers = %d", w)
+	}
+	e.Parallelism = 0
+	if w := e.workers(1 << 20); w < 1 {
+		t.Errorf("default parallelism: workers = %d", w)
+	}
+}
+
+// TestNestedLoopSpanReportsPairs pins the nested-loop span's rows-in to the
+// number of row pairs actually scanned (the full cross product), not the sum
+// of the input sizes — per-operator throughput derived from the span stream
+// depends on it.
+func TestNestedLoopSpanReportsPairs(t *testing.T) {
+	cat := fixture()
+	// R ⋈ T with no separating predicate: SumMod crosses both aliases, so
+	// the engine must fall back to a nested loop over 1000×20 pairs.
+	q := query.NewBuilder("cross").
+		Rel("R", "R").Rel("T", "T").
+		Select(expr.SumMod("R.b", "T.k", 97), value.Int(5)).
+		MustBuild()
+	col := &obs.Collector{}
+	e := New(cat)
+	e.Obs = obs.NewTracer(col)
+	if _, _, err := e.ExecTree(q, plan.NewJoin(leaf("R"), leaf("T")), &Budget{}); err != nil {
+		t.Fatal(err)
+	}
+	nls := col.SpansOf(obs.KNestedLoop)
+	if len(nls) != 1 {
+		t.Fatalf("nested-loop spans = %d, want 1", len(nls))
+	}
+	if nls[0].RowsIn != 1000*20 {
+		t.Errorf("nested-loop rows-in = %d, want %d pairs scanned", nls[0].RowsIn, 1000*20)
+	}
+}

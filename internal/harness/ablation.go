@@ -21,6 +21,8 @@ import (
 type LEC struct {
 	Prior  prior.Prior
 	Worlds int
+	// Parallelism caps the engine worker count (0 = GOMAXPROCS, 1 = serial).
+	Parallelism int
 }
 
 // Name implements Option.
@@ -38,7 +40,7 @@ func (l LEC) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, seed 
 	}
 	start := time.Now()
 	b := newBudget(timeout, maxTuples)
-	eng := engine.New(spec.Cat)
+	eng := newEngine(spec.Cat, l.Parallelism)
 	st := stats.New()
 	eng.SeedBaseStats(spec.Q, st)
 	tree, err := opt.LECPlan(spec.Q, st, p, worlds, randx.New(randx.Derive(seed, "lec")))
@@ -60,6 +62,8 @@ type MonsoonVariant struct {
 	Strategy       mcts.Strategy
 	Iterations     int
 	UniformRollout bool
+	// Parallelism caps the engine worker count (0 = GOMAXPROCS, 1 = serial).
+	Parallelism int
 }
 
 // Name implements Option.
@@ -69,13 +73,14 @@ func (m MonsoonVariant) Name() string { return m.Label }
 func (m MonsoonVariant) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, seed int64) Outcome {
 	start := time.Now()
 	b := newBudget(timeout, maxTuples)
-	eng := engine.New(spec.Cat)
+	eng := newEngine(spec.Cat, m.Parallelism)
 	res, err := core.Run(spec.Q, eng, b, core.Config{
 		Prior:          m.Prior,
 		Strategy:       m.Strategy,
 		Iterations:     m.Iterations,
 		UniformRollout: m.UniformRollout,
 		Seed:           seed,
+		Parallelism:    m.Parallelism,
 	})
 	out := Outcome{
 		Rows: res.Rows, Value: res.Value,

@@ -37,6 +37,10 @@ type Scale struct {
 	MaxTuples      float64
 	MCTSIterations int
 	Seed           int64
+	// Parallelism caps the engine worker count for every option's runs:
+	// 0 = runtime.GOMAXPROCS(0), 1 = the exact serial path. Results are
+	// bit-identical at every setting; only wall times change.
+	Parallelism int
 }
 
 // Tiny is the scale unit tests and testing.B benchmarks use.
@@ -91,13 +95,16 @@ type Runner struct {
 }
 
 func (r *Runner) monsoon() Monsoon {
-	return Monsoon{Iterations: r.Scale.MCTSIterations, Metrics: r.Metrics, Sink: r.Sink}
+	return Monsoon{Iterations: r.Scale.MCTSIterations, Metrics: r.Metrics, Sink: r.Sink,
+		Parallelism: r.Scale.Parallelism}
 }
 
 // standardOptions is the Table 3/5 lineup.
 func (r *Runner) standardOptions() []Option {
+	p := r.Scale.Parallelism
 	return []Option{
-		Postgres{}, Defaults{}, Greedy{}, r.monsoon(), OnDemand{}, Sampling{}, Skinner{},
+		Postgres{Parallelism: p}, Defaults{Parallelism: p}, Greedy{Parallelism: p},
+		r.monsoon(), OnDemand{Parallelism: p}, Sampling{Parallelism: p}, Skinner{Parallelism: p},
 	}
 }
 
@@ -194,7 +201,7 @@ func (r *Runner) Table2(w io.Writer) error {
 			specs[i] = QuerySpec{Q: q, Cat: cat}
 		}
 		for _, p := range prior.All() {
-			opt := Monsoon{Prior: p, Iterations: sc.MCTSIterations}
+			opt := Monsoon{Prior: p, Iterations: sc.MCTSIterations, Parallelism: sc.Parallelism}
 			br, err := RunBenchmark(specs, []Option{opt}, sc.Timeout, sc.MaxTuples, sc.Seed, nil)
 			if err != nil {
 				return err
@@ -318,8 +325,10 @@ func (r *Runner) Table6(w io.Writer) error {
 		for _, c := range ott.Queries() {
 			specs = append(specs, QuerySpec{Q: c.Query, Cat: cat, Hand: c.Best})
 		}
+		par := sc.Parallelism
 		options := []Option{
-			HandWritten{}, Postgres{}, Defaults{}, Greedy{}, r.monsoon(), OnDemand{}, Sampling{},
+			HandWritten{Parallelism: par}, Postgres{Parallelism: par}, Defaults{Parallelism: par},
+			Greedy{Parallelism: par}, r.monsoon(), OnDemand{Parallelism: par}, Sampling{Parallelism: par},
 		}
 		br, err := RunBenchmark(specs, options, sc.Timeout, sc.MaxTuples, sc.Seed, r.Progress)
 		if err != nil {
@@ -344,7 +353,9 @@ func (r *Runner) udfBench() (*BenchResult, error) {
 	for _, qc := range suite.All() {
 		specs = append(specs, QuerySpec{Q: qc.Query, Cat: qc.Cat})
 	}
-	options := []Option{Defaults{}, Greedy{}, r.monsoon(), Sampling{}, Skinner{}}
+	par := sc.Parallelism
+	options := []Option{Defaults{Parallelism: par}, Greedy{Parallelism: par}, r.monsoon(),
+		Sampling{Parallelism: par}, Skinner{Parallelism: par}}
 	br, err := RunBenchmark(specs, options, sc.Timeout, sc.MaxTuples, sc.Seed, r.Progress)
 	if err != nil {
 		return nil, err

@@ -76,6 +76,14 @@ func newBudget(timeout time.Duration, maxTuples float64) *engine.Budget {
 	return b
 }
 
+// newEngine creates an option's engine with the configured worker count
+// (0 = GOMAXPROCS, 1 = serial; results are bit-identical either way).
+func newEngine(cat *table.Catalog, parallelism int) *engine.Engine {
+	eng := engine.New(cat)
+	eng.Parallelism = parallelism
+	return eng
+}
+
 func finish(start time.Time, b *engine.Budget, err error, out Outcome) Outcome {
 	out.Time = time.Since(start)
 	out.Produced = b.Produced()
@@ -109,47 +117,56 @@ func planAndExec(spec QuerySpec, eng *engine.Engine, st *stats.Store, miss cost.
 
 // Postgres is the full-statistics baseline (option 7): exact statistics
 // collected offline and not counted toward the measured time.
-type Postgres struct{}
+type Postgres struct {
+	// Parallelism caps the engine worker count (0 = GOMAXPROCS, 1 = serial).
+	Parallelism int
+}
 
 // Name implements Option.
 func (Postgres) Name() string { return "Postgres" }
 
 // Run implements Option.
-func (Postgres) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, _ int64) Outcome {
+func (o Postgres) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, _ int64) Outcome {
 	st := opt.CollectFullStats(spec.Q, spec.Cat) // offline, untimed
 	start := time.Now()
 	b := newBudget(timeout, maxTuples)
-	return planAndExec(spec, engine.New(spec.Cat), st, cost.DefaultMiss(0.1), start, b)
+	return planAndExec(spec, newEngine(spec.Cat, o.Parallelism), st, cost.DefaultMiss(0.1), start, b)
 }
 
 // Defaults optimizes with the magic constant d = 0.1·c (option 4).
-type Defaults struct{}
+type Defaults struct {
+	// Parallelism caps the engine worker count (0 = GOMAXPROCS, 1 = serial).
+	Parallelism int
+}
 
 // Name implements Option.
 func (Defaults) Name() string { return "Defaults" }
 
 // Run implements Option.
-func (Defaults) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, _ int64) Outcome {
+func (o Defaults) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, _ int64) Outcome {
 	start := time.Now()
 	b := newBudget(timeout, maxTuples)
 	st := stats.New()
-	eng := engine.New(spec.Cat)
+	eng := newEngine(spec.Cat, o.Parallelism)
 	eng.SeedBaseStats(spec.Q, st)
 	return planAndExec(spec, eng, st, cost.DefaultMiss(0.1), start, b)
 }
 
 // Greedy is the size-only left-deep heuristic (option 3).
-type Greedy struct{}
+type Greedy struct {
+	// Parallelism caps the engine worker count (0 = GOMAXPROCS, 1 = serial).
+	Parallelism int
+}
 
 // Name implements Option.
 func (Greedy) Name() string { return "Greedy" }
 
 // Run implements Option.
-func (Greedy) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, _ int64) Outcome {
+func (o Greedy) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, _ int64) Outcome {
 	start := time.Now()
 	b := newBudget(timeout, maxTuples)
 	st := stats.New()
-	eng := engine.New(spec.Cat)
+	eng := newEngine(spec.Cat, o.Parallelism)
 	eng.SeedBaseStats(spec.Q, st)
 	tree, err := opt.GreedyPlan(spec.Q, st)
 	if err != nil {
@@ -168,6 +185,8 @@ func (Greedy) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, _ in
 type OnDemand struct {
 	// Sink, when non-nil, receives the collection pass's spans.
 	Sink obs.EventSink
+	// Parallelism caps the engine worker count (0 = GOMAXPROCS, 1 = serial).
+	Parallelism int
 }
 
 // Name implements Option.
@@ -177,7 +196,7 @@ func (OnDemand) Name() string { return "On Demand" }
 func (o OnDemand) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, _ int64) Outcome {
 	start := time.Now()
 	b := newBudget(timeout, maxTuples)
-	eng := engine.New(spec.Cat)
+	eng := newEngine(spec.Cat, o.Parallelism)
 	eng.Obs = obs.NewTracer(o.Sink)
 	st, err := opt.CollectOnDemand(spec.Q, eng, b)
 	if err != nil {
@@ -191,6 +210,8 @@ type Sampling struct {
 	Cfg opt.SamplingConfig
 	// Sink, when non-nil, receives the sampling pass's spans.
 	Sink obs.EventSink
+	// Parallelism caps the engine worker count (0 = GOMAXPROCS, 1 = serial).
+	Parallelism int
 }
 
 // Name implements Option.
@@ -200,7 +221,7 @@ func (Sampling) Name() string { return "Sampling" }
 func (s Sampling) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, seed int64) Outcome {
 	start := time.Now()
 	b := newBudget(timeout, maxTuples)
-	eng := engine.New(spec.Cat)
+	eng := newEngine(spec.Cat, s.Parallelism)
 	eng.Obs = obs.NewTracer(s.Sink)
 	st, err := opt.CollectSampling(spec.Q, eng, b, s.Cfg, randx.New(randx.Derive(seed, "sampling")))
 	if err != nil {
@@ -212,6 +233,8 @@ func (s Sampling) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, 
 // Skinner is the Skinner-G stand-in (option 5).
 type Skinner struct {
 	Cfg skinner.Config
+	// Parallelism caps the engine worker count (0 = GOMAXPROCS, 1 = serial).
+	Parallelism int
 }
 
 // Name implements Option.
@@ -223,7 +246,7 @@ func (s Skinner) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, s
 	b := newBudget(timeout, maxTuples)
 	cfg := s.Cfg
 	cfg.Seed = seed
-	eng := engine.New(spec.Cat)
+	eng := newEngine(spec.Cat, s.Parallelism)
 	res, err := skinner.Run(spec.Q, eng, b, cfg)
 	out := Outcome{Rows: res.Rows, Value: res.Value}
 	return finish(start, b, err, out)
@@ -274,6 +297,8 @@ type Monsoon struct {
 	// Metrics, when non-nil, accumulates counters and histograms across the
 	// campaign's runs.
 	Metrics *obs.Registry
+	// Parallelism caps the engine worker count (0 = GOMAXPROCS, 1 = serial).
+	Parallelism int
 }
 
 // Name implements Option.
@@ -288,15 +313,16 @@ func (m Monsoon) Name() string {
 func (m Monsoon) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, seed int64) Outcome {
 	start := time.Now()
 	b := newBudget(timeout, maxTuples)
-	eng := engine.New(spec.Cat)
+	eng := newEngine(spec.Cat, m.Parallelism)
 	qs := &qerrSink{}
 	res, err := core.Run(spec.Q, eng, b, core.Config{
-		Prior:      m.Prior,
-		Strategy:   m.Strategy,
-		Iterations: m.Iterations,
-		Seed:       seed,
-		Sink:       obs.Multi(m.Sink, qs),
-		Metrics:    m.Metrics,
+		Prior:       m.Prior,
+		Strategy:    m.Strategy,
+		Iterations:  m.Iterations,
+		Seed:        seed,
+		Sink:        obs.Multi(m.Sink, qs),
+		Metrics:     m.Metrics,
+		Parallelism: m.Parallelism,
 	})
 	out := Outcome{
 		Rows: res.Rows, Value: res.Value,
@@ -307,16 +333,19 @@ func (m Monsoon) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, s
 }
 
 // HandWritten executes the spec's hand-written plan (the OTT baseline row).
-type HandWritten struct{}
+type HandWritten struct {
+	// Parallelism caps the engine worker count (0 = GOMAXPROCS, 1 = serial).
+	Parallelism int
+}
 
 // Name implements Option.
 func (HandWritten) Name() string { return "Hand-written" }
 
 // Run implements Option.
-func (HandWritten) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, _ int64) Outcome {
+func (o HandWritten) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, _ int64) Outcome {
 	start := time.Now()
 	b := newBudget(timeout, maxTuples)
-	eng := engine.New(spec.Cat)
+	eng := newEngine(spec.Cat, o.Parallelism)
 	rel, _, err := eng.ExecTree(spec.Q, spec.Hand, b)
 	if err != nil {
 		return finish(start, b, err, Outcome{})

@@ -20,6 +20,7 @@ package obs
 
 import (
 	"math"
+	"sync"
 	"time"
 )
 
@@ -59,20 +60,23 @@ const (
 // the root. Rows and Produced carry the operator's data flow: rows consumed,
 // rows emitted, and objects charged against the engine.Budget (the §4.4
 // cost). Num and Str hold kind-specific attributes (MCTS rollouts, plan
-// strings, estimate/actual cardinalities, ...).
+// strings, estimate/actual cardinalities, ...). Attribute setters and End are
+// mutex-guarded, so engine workers may annotate a span concurrently; after
+// End the span is owned by the sink and must not be mutated.
 type Span struct {
-	ID       int            `json:"id"`
-	Parent   int            `json:"parent,omitempty"`
-	Kind     string         `json:"kind"`
-	Name     string         `json:"name"`
-	Start    time.Time      `json:"start"`
-	Dur      time.Duration  `json:"dur_ns"`
-	RowsIn   int            `json:"rows_in,omitempty"`
-	RowsOut  int            `json:"rows_out,omitempty"`
-	Produced float64        `json:"produced,omitempty"`
+	ID       int                `json:"id"`
+	Parent   int                `json:"parent,omitempty"`
+	Kind     string             `json:"kind"`
+	Name     string             `json:"name"`
+	Start    time.Time          `json:"start"`
+	Dur      time.Duration      `json:"dur_ns"`
+	RowsIn   int                `json:"rows_in,omitempty"`
+	RowsOut  int                `json:"rows_out,omitempty"`
+	Produced float64            `json:"produced,omitempty"`
 	Num      map[string]float64 `json:"num,omitempty"`
 	Str      map[string]string  `json:"str,omitempty"`
 
+	mu sync.Mutex
 	tr *Tracer
 }
 
@@ -82,7 +86,9 @@ func (sp *Span) SetRows(in, out int) *Span {
 	if sp == nil {
 		return nil
 	}
+	sp.mu.Lock()
 	sp.RowsIn, sp.RowsOut = in, out
+	sp.mu.Unlock()
 	return sp
 }
 
@@ -91,7 +97,9 @@ func (sp *Span) SetProduced(n float64) *Span {
 	if sp == nil {
 		return nil
 	}
+	sp.mu.Lock()
 	sp.Produced = n
+	sp.mu.Unlock()
 	return sp
 }
 
@@ -100,10 +108,12 @@ func (sp *Span) SetNum(key string, v float64) *Span {
 	if sp == nil {
 		return nil
 	}
+	sp.mu.Lock()
 	if sp.Num == nil {
 		sp.Num = make(map[string]float64, 4)
 	}
 	sp.Num[key] = v
+	sp.mu.Unlock()
 	return sp
 }
 
@@ -112,10 +122,12 @@ func (sp *Span) SetStr(key, v string) *Span {
 	if sp == nil {
 		return nil
 	}
+	sp.mu.Lock()
 	if sp.Str == nil {
 		sp.Str = make(map[string]string, 2)
 	}
 	sp.Str[key] = v
+	sp.mu.Unlock()
 	return sp
 }
 
@@ -123,12 +135,19 @@ func (sp *Span) SetStr(key, v string) *Span {
 // idempotent. Spans opened under this one and never ended (error paths) are
 // silently discarded to keep the parent chain consistent.
 func (sp *Span) End() {
-	if sp == nil || sp.tr == nil {
+	if sp == nil {
 		return
 	}
+	sp.mu.Lock()
 	t := sp.tr
 	sp.tr = nil
+	if t == nil {
+		sp.mu.Unlock()
+		return
+	}
 	sp.Dur = time.Since(sp.Start)
+	sp.mu.Unlock()
+	t.mu.Lock()
 	// Pop this span (and any abandoned children above it) off the stack.
 	for i := len(t.stack) - 1; i >= 0; i-- {
 		if t.stack[i] == sp.ID {
@@ -136,7 +155,8 @@ func (sp *Span) End() {
 			break
 		}
 	}
-	t.sink.Emit(Event{Type: EvSpan, Span: sp})
+	t.mu.Unlock()
+	t.emit(Event{Type: EvSpan, Span: sp})
 }
 
 // Estimate is one estimate-vs-actual cardinality record: at every EXECUTE the
@@ -207,12 +227,24 @@ type EventSink interface {
 }
 
 // Tracer hands out spans with automatic parent linkage (a stack — the
-// instrumented call tree is strictly nested and single-threaded, like the
-// planner itself). A nil Tracer is the off switch: every method no-ops.
+// instrumented call tree is strictly nested: spans are opened and closed by
+// the coordinating goroutine, while engine workers only annotate them). A nil
+// Tracer is the off switch: every method no-ops. All state, including sink
+// emission, is mutex-guarded, so a single-run sink like Collector needs no
+// locking of its own even when the engine executes operators in parallel.
 type Tracer struct {
+	mu    sync.Mutex
 	sink  EventSink
 	next  int
 	stack []int
+}
+
+// emit delivers one event to the sink under the tracer's lock, serializing
+// concurrent emitters.
+func (t *Tracer) emit(ev Event) {
+	t.mu.Lock()
+	t.sink.Emit(ev)
+	t.mu.Unlock()
 }
 
 // NewTracer wraps a sink; a nil sink yields a nil (disabled) tracer.
@@ -231,12 +263,14 @@ func (t *Tracer) Start(kind, name string) *Span {
 	if t == nil {
 		return nil
 	}
+	t.mu.Lock()
 	t.next++
 	sp := &Span{ID: t.next, Kind: kind, Name: name, Start: time.Now(), tr: t}
 	if len(t.stack) > 0 {
 		sp.Parent = t.stack[len(t.stack)-1]
 	}
 	t.stack = append(t.stack, sp.ID)
+	t.mu.Unlock()
 	return sp
 }
 
@@ -245,7 +279,7 @@ func (t *Tracer) Message(line string) {
 	if t == nil {
 		return
 	}
-	t.sink.Emit(Event{Type: EvMessage, Msg: line})
+	t.emit(Event{Type: EvMessage, Msg: line})
 }
 
 // Estimate emits one estimate-vs-actual record. Nil-safe.
@@ -253,7 +287,7 @@ func (t *Tracer) Estimate(e Estimate) {
 	if t == nil {
 		return
 	}
-	t.sink.Emit(Event{Type: EvEstimate, Est: &e})
+	t.emit(Event{Type: EvEstimate, Est: &e})
 }
 
 // Collector is an EventSink that retains everything, for tests, the CLIs'

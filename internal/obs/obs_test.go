@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"math"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -221,5 +222,51 @@ func TestJSONLEmitsValidLines(t *testing.T) {
 	est := rec["estimate"].(map[string]any)
 	if est["expr"] != "R+S" || est["q"].(float64) < 1e300 {
 		t.Errorf("estimate payload wrong: %v", est)
+	}
+}
+
+// TestConcurrentSpanAnnotation exercises the engine-worker contract under the
+// race detector: the coordinator opens and ends spans while worker goroutines
+// annotate them (SetNum/SetRows/SetProduced) and emit messages and estimates
+// concurrently. The assertions are secondary — the test exists so that
+// `go test -race` fails on any unguarded span or tracer state.
+func TestConcurrentSpanAnnotation(t *testing.T) {
+	col := &Collector{}
+	tr := NewTracer(col)
+	root := tr.Start(KQuery, "race")
+	for round := 0; round < 20; round++ {
+		sp := tr.Start(KHashProbe, "probe")
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				sp.SetNum("workers", float64(w)).SetRows(w, w*2).SetProduced(float64(w))
+				tr.Message("worker line")
+				tr.Estimate(Estimate{Expr: "R+S", Est: 1, Actual: 1, QError: 1})
+			}(w)
+		}
+		wg.Wait()
+		sp.End()
+		sp.End() // idempotent after workers are done
+	}
+	root.End()
+	if n := len(col.SpansOf(KHashProbe)); n != 20 {
+		t.Errorf("probe spans = %d, want 20 (double End must not re-emit)", n)
+	}
+	if len(col.Messages) != 20*8 || len(col.Estimates) != 20*8 {
+		t.Errorf("messages/estimates = %d/%d, want 160/160", len(col.Messages), len(col.Estimates))
+	}
+	qs := col.SpansOf(KQuery)
+	if len(qs) != 1 || qs[0].ID != 1 {
+		t.Fatalf("query span wrong: %v", qs)
+	}
+	for _, sp := range col.SpansOf(KHashProbe) {
+		if sp.Parent != qs[0].ID {
+			t.Errorf("probe span %d parented to %d, want query span", sp.ID, sp.Parent)
+		}
+		if _, ok := sp.Num["workers"]; !ok {
+			t.Errorf("probe span %d lost its workers attribute", sp.ID)
+		}
 	}
 }

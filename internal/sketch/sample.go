@@ -47,8 +47,12 @@ func (r *Reservoir) Seen() int64 { return r.seen }
 // uniform sample: D = sqrt(n/r) * f1 + sum_{j>=2} f_j, where f_j is the
 // number of values appearing exactly j times in a sample of size r.
 func GEE(sampleFreqs map[uint64]int, sampleSize int, populationSize int64) float64 {
+	// An empty sample carries no evidence of any value: report 0 distinct
+	// rather than inventing a phantom one (the ≥1 clamp below applies only
+	// once at least one value was seen). Empty inputs otherwise feed +Inf
+	// q-errors into every empty-vs-nonempty comparison downstream.
 	if sampleSize <= 0 || len(sampleFreqs) == 0 {
-		return 1
+		return 0
 	}
 	f1 := 0
 	higher := 0
@@ -74,8 +78,10 @@ func GEE(sampleFreqs map[uint64]int, sampleSize int, populationSize int64) float
 // distinct-count estimator kept for cross-checking GEE in tests and in the
 // Sampling option's diagnostics: D = d + f1 * A/B with q = r/n.
 func Shlosser(sampleFreqs map[uint64]int, sampleSize int, populationSize int64) float64 {
+	// Like GEE: an empty sample means 0 distinct values, not 1; the ≥1
+	// clamp is for non-empty samples only.
 	if sampleSize <= 0 || len(sampleFreqs) == 0 {
-		return 1
+		return 0
 	}
 	q := float64(sampleSize) / float64(populationSize)
 	if q >= 1 {

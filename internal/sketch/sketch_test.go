@@ -177,8 +177,8 @@ func TestGEEBounds(t *testing.T) {
 	if d > 120 {
 		t.Errorf("GEE exceeded population: %v", d)
 	}
-	if GEE(nil, 0, 100) != 1 {
-		t.Error("GEE on empty sample should return 1")
+	if GEE(nil, 0, 100) != 0 {
+		t.Error("GEE on empty sample should return 0, not a phantom distinct value")
 	}
 }
 
@@ -200,8 +200,8 @@ func TestShlosserBehaviour(t *testing.T) {
 	if d > 5000 {
 		t.Errorf("Shlosser exceeded population: %v", d)
 	}
-	if Shlosser(nil, 0, 10) != 1 {
-		t.Error("Shlosser on empty sample should return 1")
+	if Shlosser(nil, 0, 10) != 0 {
+		t.Error("Shlosser on empty sample should return 0, not a phantom distinct value")
 	}
 }
 

@@ -137,17 +137,20 @@ func (s *Store) DropAssumed() {
 // deterministically ordered. MCTS uses it to key chance-node outcomes:
 // sampled worlds with materially different statistics split into different
 // subtrees, while near-identical ones (e.g. recurring spike-and-slab atoms)
-// share one.
+// share one. Expression keys are %q-quoted: they are comma-joined alias sets,
+// so raw interpolation would let two materially different stores collide on
+// the line and field delimiters (e.g. a key containing ",c:" splicing into a
+// neighboring line) and wrongly merge distinct chance-node outcomes.
 func (s *Store) BucketSignature() string {
 	lines := make([]string, 0, len(s.counts)+len(s.measured)+len(s.assumed))
 	for k, v := range s.counts {
-		lines = append(lines, fmt.Sprintf("c:%s:%d", k, logBucket(v)))
+		lines = append(lines, fmt.Sprintf("c:%q:%d", k, logBucket(v)))
 	}
 	for k, v := range s.measured {
-		lines = append(lines, fmt.Sprintf("m:%d:%s:%d", k.Term, k.Expr, logBucket(v)))
+		lines = append(lines, fmt.Sprintf("m:%d:%q:%d", k.Term, k.Expr, logBucket(v)))
 	}
 	for k, v := range s.assumed {
-		lines = append(lines, fmt.Sprintf("a:%d:%s:%s:%d", k.Term, k.Expr, k.Partner, logBucket(v)))
+		lines = append(lines, fmt.Sprintf("a:%d:%q:%q:%d", k.Term, k.Expr, k.Partner, logBucket(v)))
 	}
 	sort.Strings(lines)
 	return strings.Join(lines, ",")

@@ -139,3 +139,43 @@ func TestStringDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestBucketSignatureDelimiterCollision pins the %q-quoting of expression
+// keys. Keys are comma-joined alias sets, so under raw interpolation the
+// two stores below rendered the identical signature "c:A:3,c:B:3" — one from
+// two entries, the other from a single key containing the line and field
+// delimiters — and MCTS wrongly merged materially different chance-node
+// outcomes into one subtree.
+func TestBucketSignatureDelimiterCollision(t *testing.T) {
+	two := New()
+	two.SetCount("A", 10)
+	two.SetCount("B", 10)
+	spliced := New()
+	spliced.SetCount(`A":3,c:"B`, 10)
+	if two.BucketSignature() == spliced.BucketSignature() {
+		t.Errorf("delimiter-containing key collides:\n%q\n%q",
+			two.BucketSignature(), spliced.BucketSignature())
+	}
+	// The historical raw-format collision, spelled out: the spliced key
+	// embeds the exact bytes the old renderer used as structure.
+	old := New()
+	old.SetCount("A:3,c:B", 10)
+	if two.BucketSignature() == old.BucketSignature() {
+		t.Errorf("legacy collision pair still collides: %q", two.BucketSignature())
+	}
+	// Quoting keeps distinct measured/assumed keys distinct too.
+	m1 := New()
+	m1.SetMeasured(0, `R"S`, 100)
+	m2 := New()
+	m2.SetMeasured(0, `R\"S`, 100)
+	if m1.BucketSignature() == m2.BucketSignature() {
+		t.Error("escaped-quote keys collide in measured entries")
+	}
+	a1 := New()
+	a1.SetAssumed(1, "R,S", "T", 50)
+	a2 := New()
+	a2.SetAssumed(1, "R", "S,T", 50)
+	if a1.BucketSignature() == a2.BucketSignature() {
+		t.Error("expr/partner boundary is ambiguous in assumed entries")
+	}
+}
