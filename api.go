@@ -32,6 +32,7 @@ import (
 	"monsoon/internal/expr"
 	"monsoon/internal/mcts"
 	"monsoon/internal/obs"
+	"monsoon/internal/plancache"
 	"monsoon/internal/prior"
 	"monsoon/internal/query"
 	"monsoon/internal/sqlish"
@@ -85,7 +86,17 @@ type (
 	// MetricsRegistry accumulates counters, gauges, and histograms across
 	// runs; dump it with its Dump method.
 	MetricsRegistry = obs.Registry
+	// PlanCache memoizes the action sequences MCTS settles on, keyed by
+	// query shape and bucketed statistics, so repeated queries skip the
+	// search; share one across runs with WithPlanCache or a Session.
+	PlanCache = plancache.Cache
+	// PlanCacheStats snapshots a plan cache's hit/miss/eviction accounting.
+	PlanCacheStats = plancache.Stats
 )
+
+// NewPlanCache creates a plan cache bounded to capacity entries; capacity
+// <= 0 selects the default (512).
+func NewPlanCache(capacity int) *PlanCache { return plancache.New(capacity) }
 
 // NewMetricsRegistry creates an empty metrics registry for WithMetrics.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
@@ -268,6 +279,15 @@ func WithMetrics(reg *MetricsRegistry) RunOption { return func(c *runConfig) { c
 // when the process must not spawn goroutines.
 func WithParallelism(n int) RunOption { return func(c *runConfig) { c.core.Parallelism = n } }
 
+// WithPlanCache memoizes planned rounds in c and replays them on repeats:
+// before each MCTS call the run consults c, keyed by the query's canonical
+// shape, the planner knobs, and the current MDP state with log₂-bucketed
+// statistics, and a hit replays the memoized action sequence instead of
+// searching. A warm replay reproduces the cold run's plan choices exactly.
+// Share one cache across runs (it is safe for concurrent use), or use a
+// Session, which wires a shared cache automatically.
+func WithPlanCache(c *PlanCache) RunOption { return func(cfg *runConfig) { cfg.core.Cache = c } }
+
 // WithEpsilonGreedy switches MCTS from UCT to the adaptive ε-greedy
 // selection strategy (§5.1).
 func WithEpsilonGreedy() RunOption {
@@ -326,4 +346,37 @@ func Run(q *Query, cat *Catalog, opts ...RunOption) (*Report, error) {
 		return &Report{Result: *res}, fmt.Errorf("monsoon: result not materialized")
 	}
 	return &Report{Result: *res, Output: rel}, nil
+}
+
+// Session is the serving-path entry point: a handle over one catalog that
+// carries a shared plan cache (and any default options) across queries, so
+// repeated or similar queries replay memoized plans instead of re-running
+// MCTS. Each Run still executes on a fresh engine — only planning knowledge
+// is shared, never materialized state — so results are identical to
+// standalone Run calls with the same seed. Safe for concurrent Run calls.
+type Session struct {
+	cat   *Catalog
+	cache *PlanCache
+	opts  []RunOption
+}
+
+// NewSession creates a session over cat. opts become defaults for every
+// Run on the session; per-call options override them. The session owns a
+// default-capacity plan cache unless opts carry WithPlanCache.
+func NewSession(cat *Catalog, opts ...RunOption) *Session {
+	return &Session{cat: cat, cache: NewPlanCache(0), opts: opts}
+}
+
+// PlanCacheStats snapshots the session cache's accounting (hits, misses,
+// evictions, entries).
+func (s *Session) PlanCacheStats() PlanCacheStats { return s.cache.Stats() }
+
+// Run optimizes and executes q like the package-level Run, with the
+// session's defaults applied first and its plan cache attached.
+func (s *Session) Run(q *Query, opts ...RunOption) (*Report, error) {
+	all := make([]RunOption, 0, len(s.opts)+len(opts)+1)
+	all = append(all, WithPlanCache(s.cache))
+	all = append(all, s.opts...)
+	all = append(all, opts...)
+	return Run(q, s.cat, all...)
 }

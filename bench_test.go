@@ -202,3 +202,27 @@ func benchLargeJoin(b *testing.B, parallelism int) {
 // delta is pure probe-side speedup from the partitioned parallel path.
 func BenchmarkLargeJoinSerial(b *testing.B)   { benchLargeJoin(b, 1) }
 func BenchmarkLargeJoinParallel(b *testing.B) { benchLargeJoin(b, 0) }
+
+func benchMonsoonRepeat(b *testing.B, cache *PlanCache) {
+	cat := buildWorld()
+	q := buildQuery()
+	opts := []RunOption{WithSeed(7), WithIterations(100)}
+	if cache != nil {
+		opts = append(opts, WithPlanCache(cache))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(q, cat, opts...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMonsoonRepeatUncached / BenchmarkMonsoonRepeatCached measure the
+// plan cache on the workload it targets: the same (query, seed) run back to
+// back. The uncached run re-plans with MCTS every time; the cached run pays
+// the search once, then replays the memoized rounds — with plans pinned
+// identical by TestCachedEqualsUncachedGolden — so the delta is the planning
+// time the cache eliminates.
+func BenchmarkMonsoonRepeatUncached(b *testing.B) { benchMonsoonRepeat(b, nil) }
+func BenchmarkMonsoonRepeatCached(b *testing.B)   { benchMonsoonRepeat(b, NewPlanCache(0)) }

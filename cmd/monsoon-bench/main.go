@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	monsoon-bench [-scale tiny|small|medium] [-exp all|table1|table2|...|figure3] [-seed N] [-parallelism N] [-v] [-metrics] [-trace-json FILE]
+//	monsoon-bench [-scale tiny|small|medium] [-exp all|table1|table2|...|figure3|plancache] [-seed N] [-parallelism N] [-plan-cache] [-v] [-metrics] [-trace-json FILE]
 //
 // Output goes to stdout; progress (with -v) and the -metrics dump to stderr.
 // With -trace-json, every Monsoon run of the campaign streams its structured
@@ -22,12 +22,13 @@ import (
 
 func main() {
 	scaleName := flag.String("scale", "small", "campaign scale: tiny, small, or medium")
-	exp := flag.String("exp", "all", "experiment: all, table1..table8, figure1..figure3, ablation, estimates")
+	exp := flag.String("exp", "all", "experiment: all, table1..table8, figure1..figure3, ablation, estimates, plancache")
 	seed := flag.Int64("seed", 1, "master seed")
 	par := flag.Int("parallelism", 0, "engine worker count: 0 = all cores, 1 = serial (results are identical either way)")
 	verbose := flag.Bool("v", false, "print per-query progress to stderr")
 	metrics := flag.Bool("metrics", false, "dump the campaign's accumulated Monsoon metrics to stderr on exit")
 	traceJSON := flag.String("trace-json", "", "write the structured traces of the campaign's Monsoon runs as JSON lines to FILE")
+	planCache := flag.Bool("plan-cache", false, "share one plan cache across the campaign's Monsoon runs (hit rates in -metrics)")
 	flag.Parse()
 
 	var sc harness.Scale
@@ -44,6 +45,7 @@ func main() {
 	}
 	sc.Seed = *seed
 	sc.Parallelism = *par
+	sc.PlanCache = *planCache
 
 	var progress io.Writer
 	if *verbose {
@@ -86,6 +88,7 @@ func main() {
 		{"table8", func() error { return r.Table8(w) }},
 		{"ablation", func() error { return r.Ablation(w) }},
 		{"estimates", func() error { return r.Estimates(w) }},
+		{"plancache", func() error { return r.PlanCacheStudy(w) }},
 	}
 	ran := false
 	for _, s := range steps {

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	monsoon-cli -bench tpch|imdb|ott|udf [-query NAME] [-opt monsoon|postgres|defaults|greedy|ondemand|sampling|skinner] [-prior NAME] [-scale tiny|small|medium] [-seed N] [-parallelism N] [-trace-json FILE] [-metrics]
+//	monsoon-cli -bench tpch|imdb|ott|udf [-query NAME] [-opt monsoon|postgres|defaults|greedy|ondemand|sampling|skinner] [-prior NAME] [-scale tiny|small|medium] [-seed N] [-parallelism N] [-plan-cache] [-repeat N] [-trace-json FILE] [-metrics]
 //
 // Without -query, the available query names for the benchmark are listed.
 package main
@@ -28,6 +28,7 @@ import (
 	"monsoon/internal/obs"
 	"monsoon/internal/opt"
 	"monsoon/internal/plan"
+	"monsoon/internal/plancache"
 	"monsoon/internal/prior"
 	"monsoon/internal/stats"
 )
@@ -43,6 +44,8 @@ func main() {
 	explain := flag.Bool("explain", false, "print the chosen plan with estimates and actuals (postgres, defaults, greedy)")
 	traceJSON := flag.String("trace-json", "", "write the structured trace (spans, messages, estimates) as JSON lines to FILE")
 	metrics := flag.Bool("metrics", false, "dump the run's metrics registry to stderr")
+	planCache := flag.Bool("plan-cache", false, "plan through a session-shared plan cache (monsoon only)")
+	repeat := flag.Int("repeat", 1, "run the query N times on fresh engines; with -plan-cache, later runs replay cached plans")
 	flag.Parse()
 
 	var sc harness.Scale
@@ -96,7 +99,7 @@ func main() {
 	}
 
 	if *optName == "monsoon" {
-		runMonsoonTraced(*spec, sc, *priorName, jsonSink, reg)
+		runMonsoonTraced(*spec, sc, *priorName, jsonSink, reg, *planCache, *repeat)
 		return
 	}
 	if *explain {
@@ -168,33 +171,66 @@ func pickOption(name string, sc harness.Scale, sink obs.EventSink) harness.Optio
 	}
 }
 
-func runMonsoonTraced(spec harness.QuerySpec, sc harness.Scale, priorName string, sink obs.EventSink, reg *obs.Registry) {
+func runMonsoonTraced(spec harness.QuerySpec, sc harness.Scale, priorName string, sink obs.EventSink, reg *obs.Registry, planCache bool, repeat int) {
 	p := prior.ByName(priorName)
 	if p == nil {
 		fail("unknown prior %q (Table 2 names, e.g. \"Spike and Slab\")", priorName)
 	}
-	eng := engine.New(spec.Cat)
-	eng.Parallelism = sc.Parallelism
-	budget := &engine.Budget{MaxTuples: sc.MaxTuples, Deadline: time.Now().Add(sc.Timeout)}
-	fmt.Printf("Monsoon on %s (prior %s, %d MCTS iterations)\n", spec.Q.Name, p.Name(), sc.MCTSIterations)
-	col := &obs.Collector{}
-	start := time.Now()
-	res, err := core.Run(spec.Q, eng, budget, core.Config{
-		Prior:       p,
-		Iterations:  sc.MCTSIterations,
-		Seed:        sc.Seed,
-		Trace:       func(s string) { fmt.Println("  " + s) },
-		Sink:        obs.Multi(col, sink),
-		Metrics:     reg,
-		Parallelism: sc.Parallelism,
-	})
-	if err != nil {
-		fail("run failed after %v: %v", time.Since(start), err)
+	if repeat < 1 {
+		repeat = 1
 	}
-	fmt.Printf("done in %v: %d rows (aggregate %.6g)\n", time.Since(start), res.Rows, res.Value)
+	var cache *plancache.Cache
+	if planCache {
+		cache = plancache.New(0)
+	}
+	fmt.Printf("Monsoon on %s (prior %s, %d MCTS iterations)\n", spec.Q.Name, p.Name(), sc.MCTSIterations)
+	var res *core.Result
+	var col *obs.Collector
+	var elapsed time.Duration
+	// Each repetition runs on a fresh engine, so only planning knowledge — the
+	// plan cache, when enabled — carries over; the full trace and EXPLAIN
+	// ANALYZE come from the first run.
+	for i := 0; i < repeat; i++ {
+		eng := engine.New(spec.Cat)
+		eng.Parallelism = sc.Parallelism
+		budget := &engine.Budget{MaxTuples: sc.MaxTuples, Deadline: time.Now().Add(sc.Timeout)}
+		cfg := core.Config{
+			Prior:       p,
+			Iterations:  sc.MCTSIterations,
+			Seed:        sc.Seed,
+			Metrics:     reg,
+			Parallelism: sc.Parallelism,
+			Cache:       cache,
+		}
+		if i == 0 {
+			col = &obs.Collector{}
+			cfg.Trace = func(s string) { fmt.Println("  " + s) }
+			cfg.Sink = obs.Multi(col, sink)
+		}
+		start := time.Now()
+		r, err := core.Run(spec.Q, eng, budget, cfg)
+		if err != nil {
+			fail("run %d failed after %v: %v", i+1, time.Since(start), err)
+		}
+		if i == 0 {
+			res, elapsed = r, time.Since(start)
+		}
+		if repeat > 1 {
+			line := fmt.Sprintf("run %d: plan %v, exec %v", i+1, r.PlanTime, r.ExecTime)
+			if cache != nil {
+				line += fmt.Sprintf(", cache hits/misses %d/%d", r.CacheHits, r.CacheMisses)
+			}
+			fmt.Println(line)
+		}
+	}
+	fmt.Printf("done in %v: %d rows (aggregate %.6g)\n", elapsed, res.Rows, res.Value)
 	fmt.Printf("rounds: %d EXECUTEs, %d actions, %d Σ operators\n", res.Executes, res.Actions, res.SigmaOps)
 	fmt.Printf("breakdown: MCTS %v, Σ %v, execution %v; %.0f objects produced\n",
 		res.PlanTime, res.SigmaTime, res.ExecTime, res.Produced)
+	if cache != nil {
+		s := cache.Stats()
+		fmt.Printf("plan cache: %d hits, %d misses, %d entries\n", s.Hits, s.Misses, s.Entries)
+	}
 
 	// EXPLAIN ANALYZE over the trees the EXECUTE rounds materialized, from
 	// the recorded estimate-vs-actual events (est = the prior's expectation

@@ -255,7 +255,7 @@ func applyPlanEdit(s *State, q *query.Query, a Action) (*State, error) {
 		if i < 0 {
 			return nil, fmt.Errorf("core: Σ-copy target %q not active", a.A)
 		}
-		n.Planned = append(n.Planned, PlannedTree{
+		n.addPlanned(PlannedTree{
 			Tree:      plan.NewLeaf(n.Active[i]).WithSigma(),
 			SigmaCopy: true,
 		})
@@ -270,7 +270,7 @@ func applyPlanEdit(s *State, q *query.Query, a Action) (*State, error) {
 		if i < 0 || j < 0 {
 			return nil, fmt.Errorf("core: join-mats operands %q, %q not active", a.A, a.B)
 		}
-		n.Planned = append(n.Planned, PlannedTree{
+		n.addPlanned(PlannedTree{
 			Tree: plan.NewJoin(plan.NewLeaf(n.Active[i]), plan.NewLeaf(n.Active[j])),
 		})
 	case ActJoinPlanned:
@@ -286,12 +286,13 @@ func applyPlanEdit(s *State, q *query.Query, a Action) (*State, error) {
 			}
 		}
 		n.Planned = append(keep, PlannedTree{Tree: joined})
+		n.reindexPlanned()
 	case ActMaterialize:
 		i := n.findActive(a.A)
 		if i < 0 {
 			return nil, fmt.Errorf("core: materialize target %q not active", a.A)
 		}
-		n.Planned = append(n.Planned, PlannedTree{Tree: plan.NewLeaf(n.Active[i])})
+		n.addPlanned(PlannedTree{Tree: plan.NewLeaf(n.Active[i])})
 	case ActJoinMatPlanned:
 		i := n.findActive(a.A)
 		j := n.findPlanned(a.B)
@@ -299,6 +300,8 @@ func applyPlanEdit(s *State, q *query.Query, a Action) (*State, error) {
 			return nil, fmt.Errorf("core: join-mat-planned operands %q, %q missing", a.A, a.B)
 		}
 		n.Planned[j] = PlannedTree{Tree: plan.NewJoin(plan.NewLeaf(n.Active[i]), n.Planned[j].Tree)}
+		delete(n.plannedIdx, a.B)
+		n.plannedIdx[n.Planned[j].Tree.Key()] = j
 	default:
 		return nil, fmt.Errorf("core: applyPlanEdit on %v", a)
 	}
@@ -326,5 +329,6 @@ func settleExecution(s *State) {
 		s.Active = append(kept, cover)
 	}
 	s.Planned = nil
+	s.plannedIdx = nil
 	s.sortActive()
 }

@@ -1,17 +1,15 @@
 package core
 
 import (
-	"fmt"
 	"time"
 
-	"monsoon/internal/cost"
 	"monsoon/internal/engine"
 	"monsoon/internal/mcts"
 	"monsoon/internal/obs"
 	"monsoon/internal/plan"
+	"monsoon/internal/plancache"
 	"monsoon/internal/prior"
 	"monsoon/internal/query"
-	"monsoon/internal/randx"
 	"monsoon/internal/stats"
 )
 
@@ -56,6 +54,14 @@ type Config struct {
 	// bit-identical — same result rows, Σ estimates, and plan choices —
 	// so the knob trades wall time only.
 	Parallelism int
+	// Cache, when non-nil, memoizes planned rounds across planning calls,
+	// rounds, and sessions sharing the cache: before each MCTS call the
+	// session looks up (canonical query shape, planner knobs, MDP state
+	// with log₂-bucketed statistics) and replays the memoized action
+	// sequence on a hit, skipping the search. Repeating an identical run
+	// through a warm cache reproduces the cold run's plan choices exactly.
+	// Nil disables caching with zero overhead.
+	Cache *plancache.Cache
 }
 
 // Result reports a completed (or timed-out) Monsoon run, including the
@@ -80,6 +86,9 @@ type Result struct {
 	// Executed lists the trees materialized by the EXECUTE rounds, in
 	// execution order (the multi-step physical plan the MDP settled on).
 	Executed []*plan.Node
+	// CacheHits and CacheMisses count plan-cache consultations for this
+	// run; both zero when no cache is configured.
+	CacheHits, CacheMisses int
 }
 
 // Run optimizes and executes q on eng with interleaved MCTS planning and
@@ -87,198 +96,23 @@ type Result struct {
 // engine, harden observed statistics, and repeat until the full result is
 // materialized. A budget overrun returns engine.ErrBudget with partial
 // accounting in the returned Result.
+//
+// Run is a thin wrapper over the Session pipeline; drive a Session directly
+// to observe or stop the run between rounds.
 func Run(q *query.Query, eng *engine.Engine, budget *engine.Budget, cfg Config) (*Result, error) {
-	if cfg.Prior == nil {
-		cfg.Prior = prior.Default()
-	}
-	if cfg.Iterations == 0 {
-		cfg.Iterations = 800
-	}
-	st := cfg.Stats
-	if st == nil {
-		st = stats.New()
-	}
-	eng.SeedBaseStats(q, st)
-	s := NewInitialState(q, st)
-
-	tr := obs.NewTracer(obs.Multi(cfg.Sink, obs.MessageSink(cfg.Trace)))
-	prevObs := eng.Obs
-	eng.Obs = tr
-	defer func() { eng.Obs = prevObs }()
-	if cfg.Parallelism != 0 {
-		prevPar := eng.Parallelism
-		eng.Parallelism = cfg.Parallelism
-		defer func() { eng.Parallelism = prevPar }()
-	}
-
-	model := &Model{
-		Q: q, Prior: cfg.Prior,
-		Rng:            randx.New(randx.Derive(cfg.Seed, "sim")),
-		UniformRollout: cfg.UniformRollout,
-	}
-	planner := mcts.New(mcts.Config{
-		Strategy:   cfg.Strategy,
-		Iterations: cfg.Iterations,
-	}, randx.New(randx.Derive(cfg.Seed, "mcts")))
-
-	res := &Result{}
-	qsp := tr.Start(obs.KQuery, q.Name)
-	defer func() {
-		qsp.SetRows(0, res.Rows).SetProduced(res.Produced).
-			SetNum("actions", float64(res.Actions)).
-			SetNum("executes", float64(res.Executes)).
-			SetNum("sigma_ops", float64(res.SigmaOps)).
-			End()
-	}()
-	for !s.Terminal() {
-		if budget != nil && !budget.Deadline.IsZero() && time.Now().After(budget.Deadline) {
-			return res, engine.ErrBudget
+	s := NewSession(q, eng, budget, cfg)
+	defer s.Close()
+	for {
+		execute, err := s.PlanRound()
+		if err != nil {
+			return s.Result(), err
 		}
-		t0 := time.Now()
-		psp := tr.Start(obs.KPlan, "mcts")
-		picked := planner.Plan(model, s)
-		planElapsed := time.Since(t0)
-		// LastStats is a value, valid on every return from Plan, so it needs
-		// no guard of its own; the span setters are nil-safe no-ops when no
-		// sink is attached. (A previous version guarded on the span variable
-		// by accident, silently keying the stats block to the tracer.)
-		ps := planner.LastStats()
-		psp.SetNum("rollouts", float64(ps.Rollouts)).
-			SetNum("root_actions", float64(ps.RootActions)).
-			SetNum("tree_depth", float64(ps.MaxDepth)).
-			SetNum("nodes", float64(ps.Nodes))
-		if ps.FastPath {
-			psp.SetStr("fast_path", "true")
+		if !execute {
+			break
 		}
-		psp.End()
-		res.PlanTime += planElapsed
-		cfg.Metrics.Histogram("monsoon.plan.time").ObserveDuration(planElapsed)
-		if picked == nil {
-			return res, fmt.Errorf("core: no legal action in non-terminal state %s", s)
-		}
-		act := picked.(Action)
-		res.Actions++
-		cfg.Metrics.Counter("monsoon.actions").Inc()
-		if tr.Active() {
-			tr.Message(act.String())
-		}
-		asp := tr.Start(obs.KAction, act.Key())
-		if act.Kind != ActExecute {
-			ns, err := applyPlanEdit(s, q, act)
-			if err != nil {
-				asp.SetStr("err", err.Error()).End()
-				return res, err
-			}
-			asp.End()
-			s = ns
-			continue
-		}
-		// Real-world EXECUTE: run every planned tree on the engine and
-		// harden everything it observed.
-		ns := s.clone(false)
-		round := res.Executes + 1
-		// What the optimizer believes each intermediate will produce, under
-		// the prior's expectation, frozen before the world answers. Derived
-		// on a cloned store (and through Mean, not Sample) so recording the
-		// predictions perturbs neither the statistics set nor the RNG
-		// stream — traced and untraced runs stay bit-identical.
-		var ests map[string]float64
-		if tr.Active() || cfg.Metrics != nil {
-			dv := &cost.Deriver{Q: q, St: ns.St.Clone(), Miss: model.meanMiss()}
-			ests = make(map[string]float64)
-			for _, t := range ns.Planned {
-				estimateTree(dv, t.Tree, ests)
-			}
-		}
-		roundProduced := 0.0
-		for _, t := range ns.Planned {
-			if t.Tree.Sigma {
-				res.SigmaOps++
-				cfg.Metrics.Counter("monsoon.sigma_ops").Inc()
-			}
-			t1 := time.Now()
-			_, er, err := eng.ExecTree(q, t.Tree, budget)
-			elapsed := time.Since(t1)
-			res.SigmaTime += er.SigmaTime
-			res.ExecTime += elapsed - er.SigmaTime
-			res.Produced += er.Produced
-			roundProduced += er.Produced
-			for k, v := range er.Counts {
-				st.SetCount(k, v)
-			}
-			for _, o := range er.Sigma {
-				st.SetMeasured(o.Term, o.Expr, o.D)
-			}
-			if err != nil {
-				asp.SetStr("err", err.Error()).SetProduced(roundProduced).End()
-				return res, err
-			}
-			res.Executed = append(res.Executed, t.Tree)
-			reportEstimates(tr, cfg.Metrics, t.Tree, ests, er.Counts, er.Times, round)
-			if tr.Active() {
-				tr.Message(fmt.Sprintf("  materialized %s (%.0f objects produced)", t.Tree, er.Produced))
-			}
-		}
-		settleExecution(ns)
-		st.DropAssumed()
-		s = ns
-		res.Executes++
-		cfg.Metrics.Counter("monsoon.executes").Inc()
-		asp.SetNum("trees", float64(len(ns.Planned))).SetProduced(roundProduced).End()
-	}
-	rel, ok := eng.Materialized(q.Aliases().Key())
-	if !ok {
-		return res, fmt.Errorf("core: terminal state but result not materialized")
-	}
-	agg := tr.Start(obs.KAggregate, q.Aliases().Key())
-	v, err := engine.FinalAggregate(q, rel)
-	if err != nil {
-		agg.SetStr("err", err.Error()).End()
-		return res, err
-	}
-	agg.SetRows(rel.Count(), 1).End()
-	res.Value = v
-	res.Rows = rel.Count()
-	return res, nil
-}
-
-// estimateTree records the deriver's predicted cardinality for every node of
-// one planned tree, keyed by plan.Node.Key.
-func estimateTree(dv *cost.Deriver, n *plan.Node, out map[string]float64) {
-	out[n.Key()] = dv.NodeCount(n)
-	if !n.IsLeaf() {
-		estimateTree(dv, n.Left, out)
-		estimateTree(dv, n.Right, out)
-	}
-}
-
-// reportEstimates emits one estimate-vs-actual record per executed node whose
-// cardinality the engine observed, and feeds join q-errors into the metrics
-// registry — the per-join q-error being the single most diagnostic signal for
-// how well the prior's expectation matched the hidden world.
-func reportEstimates(tr *obs.Tracer, reg *obs.Registry, n *plan.Node, ests, actuals map[string]float64, times map[string]time.Duration, round int) {
-	key := n.Key()
-	if est, okE := ests[key]; okE {
-		if actual, okA := actuals[key]; okA {
-			qe := obs.QError(est, actual)
-			tr.Estimate(obs.Estimate{
-				Expr: key, Join: !n.IsLeaf(), Round: round,
-				Est: est, Actual: actual, QError: qe,
-				Dur: times[key],
-			})
-			if !n.IsLeaf() {
-				// An empty-vs-nonempty miss is +Inf; clamp so one such join
-				// cannot poison the histogram's sum and mean.
-				hq := qe
-				if hq > 1e12 {
-					hq = 1e12
-				}
-				reg.Histogram("monsoon.qerror.join").Observe(hq)
-			}
+		if err := s.ExecuteRound(); err != nil {
+			return s.Result(), err
 		}
 	}
-	if !n.IsLeaf() {
-		reportEstimates(tr, reg, n.Left, ests, actuals, times, round)
-		reportEstimates(tr, reg, n.Right, ests, actuals, times, round)
-	}
+	return s.Finalize()
 }

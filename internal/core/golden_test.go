@@ -1,0 +1,104 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"monsoon/internal/engine"
+)
+
+// goldenRun is one pinned (fixture, seed) trajectory of the driver: the
+// multi-step plan the MDP settled on and its full accounting. The values were
+// captured from the pre-Session monolithic core.Run; the Session refactor and
+// every future change to the driver must reproduce them bit-for-bit (same
+// plans, same objects produced, same action counts) or consciously re-pin.
+type goldenRun struct {
+	seed                        int64
+	iterations                  int
+	rows                        int
+	value                       float64
+	produced                    float64
+	actions, executes, sigmaOps int
+	trees                       []string
+}
+
+var goldenFixtureRuns = []goldenRun{
+	{seed: 7, iterations: 300, rows: 0, value: 0, produced: 202200,
+		actions: 3, executes: 1, sigmaOps: 0, trees: []string{"(T⋈(R⋈S))"}},
+	{seed: 11, iterations: 300, rows: 0, value: 0, produced: 2400,
+		actions: 4, executes: 1, sigmaOps: 1, trees: []string{"Σ(S)", "(S⋈(R⋈T))"}},
+	{seed: 42, iterations: 300, rows: 0, value: 0, produced: 2200,
+		actions: 3, executes: 1, sigmaOps: 0, trees: []string{"(S⋈(R⋈T))"}},
+}
+
+func checkGolden(t *testing.T, label string, g goldenRun, res *Result) {
+	t.Helper()
+	var trees []string
+	for _, n := range res.Executed {
+		trees = append(trees, n.String())
+	}
+	if res.Rows != g.rows || res.Value != g.value || res.Produced != g.produced {
+		t.Errorf("%s seed %d: rows/value/produced = %d/%g/%g, golden %d/%g/%g",
+			label, g.seed, res.Rows, res.Value, res.Produced, g.rows, g.value, g.produced)
+	}
+	if res.Actions != g.actions || res.Executes != g.executes || res.SigmaOps != g.sigmaOps {
+		t.Errorf("%s seed %d: actions/executes/sigma = %d/%d/%d, golden %d/%d/%d",
+			label, g.seed, res.Actions, res.Executes, res.SigmaOps, g.actions, g.executes, g.sigmaOps)
+	}
+	if !reflect.DeepEqual(trees, g.trees) {
+		t.Errorf("%s seed %d: executed trees %q, golden %q", label, g.seed, trees, g.trees)
+	}
+}
+
+// TestGoldenSeedBehavior pins the driver against the pre-refactor seed
+// behavior on the R/S/T fixture.
+func TestGoldenSeedBehavior(t *testing.T) {
+	for _, g := range goldenFixtureRuns {
+		cat, q := fixture()
+		eng := engine.New(cat)
+		res, err := Run(q, eng, &engine.Budget{}, Config{Seed: g.seed, Iterations: g.iterations})
+		if err != nil {
+			t.Fatalf("seed %d: %v", g.seed, err)
+		}
+		checkGolden(t, "fixture", g, res)
+	}
+}
+
+// TestGoldenSeedBehaviorBigFixture pins the driver on the larger fixture whose
+// EXECUTE rounds engage the engine's parallel paths.
+func TestGoldenSeedBehaviorBig(t *testing.T) {
+	g := goldenRun{seed: 13, iterations: 200, rows: 13634, value: 13634,
+		produced: 21452, actions: 2, executes: 1, sigmaOps: 0, trees: []string{"(BR⋈BS)"}}
+	cat, q := bigFixture()
+	eng := engine.New(cat)
+	res, err := Run(q, eng, &engine.Budget{}, Config{Seed: g.seed, Iterations: g.iterations})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "big", g, res)
+}
+
+// TestGoldenTraceLines pins the legacy textual trace byte-for-byte: the
+// Session refactor keeps the Trace callback's lines identical to the
+// monolithic driver's output.
+func TestGoldenTraceLines(t *testing.T) {
+	want := []string{
+		"add Σ(S) to Rp",
+		"join materialized R ⋈ T",
+		"join materialized S with planned R+T",
+		"EXECUTE",
+		"  materialized Σ(S) (200 objects produced)",
+		"  materialized (S⋈(R⋈T)) (2200 objects produced)",
+	}
+	cat, q := fixture()
+	eng := engine.New(cat)
+	var lines []string
+	_, err := Run(q, eng, &engine.Budget{}, Config{Seed: 11, Iterations: 300,
+		Trace: func(s string) { lines = append(lines, s) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(lines, want) {
+		t.Errorf("trace lines:\n%q\nwant:\n%q", lines, want)
+	}
+}

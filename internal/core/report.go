@@ -1,0 +1,50 @@
+package core
+
+import (
+	"time"
+
+	"monsoon/internal/cost"
+	"monsoon/internal/obs"
+	"monsoon/internal/plan"
+)
+
+// estimateTree records the deriver's predicted cardinality for every node of
+// one planned tree, keyed by plan.Node.Key.
+func estimateTree(dv *cost.Deriver, n *plan.Node, out map[string]float64) {
+	out[n.Key()] = dv.NodeCount(n)
+	if !n.IsLeaf() {
+		estimateTree(dv, n.Left, out)
+		estimateTree(dv, n.Right, out)
+	}
+}
+
+// reportEstimates emits one estimate-vs-actual record per executed node whose
+// cardinality the engine observed, and feeds join q-errors into the metrics
+// registry — the per-join q-error being the single most diagnostic signal for
+// how well the prior's expectation matched the hidden world.
+func reportEstimates(tr *obs.Tracer, reg *obs.Registry, n *plan.Node, ests, actuals map[string]float64, times map[string]time.Duration, round int) {
+	key := n.Key()
+	if est, okE := ests[key]; okE {
+		if actual, okA := actuals[key]; okA {
+			qe := obs.QError(est, actual)
+			tr.Estimate(obs.Estimate{
+				Expr: key, Join: !n.IsLeaf(), Round: round,
+				Est: est, Actual: actual, QError: qe,
+				Dur: times[key],
+			})
+			if !n.IsLeaf() {
+				// An empty-vs-nonempty miss is +Inf; clamp so one such join
+				// cannot poison the histogram's sum and mean.
+				hq := qe
+				if hq > 1e12 {
+					hq = 1e12
+				}
+				reg.Histogram("monsoon.qerror.join").Observe(hq)
+			}
+		}
+	}
+	if !n.IsLeaf() {
+		reportEstimates(tr, reg, n.Left, ests, actuals, times, round)
+		reportEstimates(tr, reg, n.Right, ests, actuals, times, round)
+	}
+}

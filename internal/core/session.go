@@ -1,0 +1,415 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"monsoon/internal/cost"
+	"monsoon/internal/engine"
+	"monsoon/internal/mcts"
+	"monsoon/internal/obs"
+	"monsoon/internal/prior"
+	"monsoon/internal/query"
+	"monsoon/internal/randx"
+	"monsoon/internal/stats"
+)
+
+// Session is the driver's §5.3 loop made explicit: it owns the long-lived
+// pieces of one Monsoon run — the seeded statistics store, the MDP simulation
+// model, the MCTS planner, the tracer, and the optional plan cache — and
+// exposes the loop's phases as methods. A run is
+//
+//	s, err := NewSession(q, eng, budget, cfg)
+//	defer s.Close()
+//	for {
+//	    execute, err := s.PlanRound()   // plan edits until EXECUTE (or done)
+//	    if !execute { break }
+//	    err = s.ExecuteRound()          // materialize Rp, harden statistics
+//	}
+//	res, err := s.Finalize()            // final aggregate
+//
+// which is exactly what the Run compatibility wrapper does; driving the
+// phases by hand lets harnesses inspect or stop the run between rounds.
+//
+// When cfg.Cache is set, PlanRound consults the cache before every MCTS
+// planning call, keyed by the canonical query shape, the planner knobs, and
+// the current state (planned trees, materialized frontier, and the hardened
+// statistics rendered through stats.Store.BucketSignature()). A hit replays
+// the memoized action suffix — skipping MCTS entirely — after validating
+// that every action still applies; a miss plans normally and memoizes the
+// round's action sequence when EXECUTE is reached. Because hardening that
+// moves any statistic across a log₂ bucket boundary changes the key,
+// entries recorded under stale statistics are never served (invalidation is
+// embedded in the key). Replay reproduces the exact recording: a repeated
+// (query, seed, statistics) run makes the same plan choices with and
+// without the cache.
+type Session struct {
+	q      *query.Query
+	eng    *engine.Engine
+	budget *engine.Budget
+	cfg    Config
+
+	st      *stats.Store
+	state   *State
+	model   *Model
+	planner *mcts.Planner
+	tr      *obs.Tracer
+	res     *Result
+
+	qsp     *obs.Span
+	restore []func()
+	closed  bool
+	// now overrides the wall clock for deadline checks; tests use it to
+	// exercise the between-trees budget check deterministically. Nil means
+	// time.Now.
+	now func() time.Time
+
+	// shape is the cache-key prefix: canonical query shape + planner knobs.
+	shape string
+	// execPending is set between a PlanRound that picked EXECUTE and the
+	// ExecuteRound that performs it.
+	execPending bool
+	// pendingKeys/pendingActs record the current round's (state key, picked
+	// action) pairs on the miss path, memoized when EXECUTE is reached.
+	pendingKeys []string
+	pendingActs []Action
+}
+
+// NewSession seeds the statistics store, builds the initial MDP state, and
+// wires the model, planner, and tracer. It mutates eng's observability and
+// parallelism hooks for the session's lifetime; Close restores them.
+func NewSession(q *query.Query, eng *engine.Engine, budget *engine.Budget, cfg Config) *Session {
+	if cfg.Prior == nil {
+		cfg.Prior = prior.Default()
+	}
+	if cfg.Iterations == 0 {
+		cfg.Iterations = 800
+	}
+	st := cfg.Stats
+	if st == nil {
+		st = stats.New()
+	}
+	eng.SeedBaseStats(q, st)
+
+	s := &Session{q: q, eng: eng, budget: budget, cfg: cfg, st: st, res: &Result{}}
+	s.state = NewInitialState(q, st)
+
+	s.tr = obs.NewTracer(obs.Multi(cfg.Sink, obs.MessageSink(cfg.Trace)))
+	prevObs := eng.Obs
+	eng.Obs = s.tr
+	s.restore = append(s.restore, func() { eng.Obs = prevObs })
+	if cfg.Parallelism != 0 {
+		prevPar := eng.Parallelism
+		eng.Parallelism = cfg.Parallelism
+		s.restore = append(s.restore, func() { eng.Parallelism = prevPar })
+	}
+
+	s.model = &Model{
+		Q: q, Prior: cfg.Prior,
+		Rng:            randx.New(randx.Derive(cfg.Seed, "sim")),
+		UniformRollout: cfg.UniformRollout,
+	}
+	s.planner = mcts.New(mcts.Config{
+		Strategy:   cfg.Strategy,
+		Iterations: cfg.Iterations,
+	}, randx.New(randx.Derive(cfg.Seed, "mcts")))
+
+	if cfg.Cache != nil {
+		s.shape = canonicalShape(q, cfg)
+	}
+	s.qsp = s.tr.Start(obs.KQuery, q.Name)
+	return s
+}
+
+// Result exposes the session's accounting so far; the same value Finalize
+// returns. Valid (partially filled) even after an error.
+func (s *Session) Result() *Result { return s.res }
+
+// Close restores the engine hooks NewSession replaced and ends the query
+// span with the final accounting. Idempotent.
+func (s *Session) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.qsp.SetRows(0, s.res.Rows).SetProduced(s.res.Produced).
+		SetNum("actions", float64(s.res.Actions)).
+		SetNum("executes", float64(s.res.Executes)).
+		SetNum("sigma_ops", float64(s.res.SigmaOps)).
+		End()
+	for i := len(s.restore) - 1; i >= 0; i-- {
+		s.restore[i]()
+	}
+	s.restore = nil
+}
+
+func (s *Session) overDeadline() bool {
+	if s.budget == nil || s.budget.Deadline.IsZero() {
+		return false
+	}
+	clock := time.Now
+	if s.now != nil {
+		clock = s.now
+	}
+	return clock().After(s.budget.Deadline)
+}
+
+// cacheKey is the full plan-cache key for the current state.
+func (s *Session) cacheKey() string {
+	return s.shape + "\x00" + s.state.OutcomeKey()
+}
+
+// PlanRound runs planning from the current state until the MDP picks
+// EXECUTE, applying each plan edit as it is chosen. It returns true when an
+// EXECUTE is pending (perform it with ExecuteRound), false when the state is
+// already terminal. With a plan cache configured it consults the cache
+// before every planning call and replays memoized rounds on a hit.
+func (s *Session) PlanRound() (bool, error) {
+	if s.state.Terminal() {
+		return false, nil
+	}
+	if s.execPending {
+		return true, nil
+	}
+	s.pendingKeys = s.pendingKeys[:0]
+	s.pendingActs = s.pendingActs[:0]
+	for {
+		if s.overDeadline() {
+			return false, engine.ErrBudget
+		}
+		var key string
+		if s.cfg.Cache != nil {
+			key = s.cacheKey()
+			if v, ok := s.cfg.Cache.Get(key); ok {
+				if seq, isSeq := v.([]Action); isSeq && s.replayRound(seq) {
+					return true, nil
+				}
+				// Invalid or inapplicable entry: treat as a miss and replan.
+			}
+			s.res.CacheMisses++
+			s.cfg.Metrics.Counter("monsoon.plancache.misses").Inc()
+		}
+		t0 := time.Now()
+		psp := s.tr.Start(obs.KPlan, "mcts")
+		picked := s.planner.Plan(s.model, s.state)
+		planElapsed := time.Since(t0)
+		// LastStats is a value, valid on every return from Plan, so it needs
+		// no guard of its own; the span setters are nil-safe no-ops when no
+		// sink is attached. (A previous version guarded on the span variable
+		// by accident, silently keying the stats block to the tracer.)
+		ps := s.planner.LastStats()
+		psp.SetNum("rollouts", float64(ps.Rollouts)).
+			SetNum("root_actions", float64(ps.RootActions)).
+			SetNum("tree_depth", float64(ps.MaxDepth)).
+			SetNum("nodes", float64(ps.Nodes))
+		if ps.FastPath {
+			psp.SetStr("fast_path", "true")
+		}
+		if s.cfg.Cache != nil {
+			psp.SetStr(obs.AttrCacheHit, "false")
+		}
+		psp.End()
+		s.res.PlanTime += planElapsed
+		s.cfg.Metrics.Histogram("monsoon.plan.time").ObserveDuration(planElapsed)
+		if picked == nil {
+			return false, fmt.Errorf("core: no legal action in non-terminal state %s", s.state)
+		}
+		act := picked.(Action)
+		if s.cfg.Cache != nil {
+			s.pendingKeys = append(s.pendingKeys, key)
+			s.pendingActs = append(s.pendingActs, act)
+		}
+		s.res.Actions++
+		s.cfg.Metrics.Counter("monsoon.actions").Inc()
+		if s.tr.Active() {
+			s.tr.Message(act.String())
+		}
+		if act.Kind == ActExecute {
+			s.memoizeRound()
+			s.execPending = true
+			return true, nil
+		}
+		asp := s.tr.Start(obs.KAction, act.Key())
+		ns, err := applyPlanEdit(s.state, s.q, act)
+		if err != nil {
+			asp.SetStr("err", err.Error()).End()
+			return false, err
+		}
+		asp.End()
+		s.state = ns
+	}
+}
+
+// replayRound validates a memoized action sequence against the current state
+// and, when every edit still applies, commits it — emitting the same spans,
+// trace lines, and accounting the uncached path would for the same actions,
+// minus the MCTS work. Returns false (state untouched) when the sequence no
+// longer applies; the caller then replans.
+func (s *Session) replayRound(seq []Action) bool {
+	if len(seq) == 0 || seq[len(seq)-1].Kind != ActExecute {
+		return false
+	}
+	t0 := time.Now()
+	// Validate the whole suffix on scratch states before committing anything.
+	states := make([]*State, 0, len(seq)-1)
+	cur := s.state
+	for _, a := range seq[:len(seq)-1] {
+		ns, err := applyPlanEdit(cur, s.q, a)
+		if err != nil {
+			return false
+		}
+		states = append(states, ns)
+		cur = ns
+	}
+	if len(cur.Planned) == 0 {
+		return false // EXECUTE would be illegal
+	}
+	s.res.CacheHits++
+	s.cfg.Metrics.Counter("monsoon.plancache.hits").Inc()
+	for i, a := range seq {
+		psp := s.tr.Start(obs.KPlan, "mcts")
+		psp.SetNum("rollouts", 0).SetStr(obs.AttrCacheHit, "true").End()
+		s.res.Actions++
+		s.cfg.Metrics.Counter("monsoon.actions").Inc()
+		if s.tr.Active() {
+			s.tr.Message(a.String())
+		}
+		if a.Kind == ActExecute {
+			s.execPending = true
+			break
+		}
+		asp := s.tr.Start(obs.KAction, a.Key())
+		asp.End()
+		s.state = states[i]
+	}
+	elapsed := time.Since(t0)
+	s.res.PlanTime += elapsed
+	s.cfg.Metrics.Histogram("monsoon.plan.time").ObserveDuration(elapsed)
+	return true
+}
+
+// memoizeRound stores the just-completed round under every state key it
+// passed through, so a future session reaching any intermediate state replays
+// the rest of the round.
+func (s *Session) memoizeRound() {
+	for i := range s.pendingActs {
+		s.cfg.Cache.Put(s.pendingKeys[i], append([]Action(nil), s.pendingActs[i:]...))
+	}
+}
+
+// ExecuteRound performs the pending EXECUTE: run every planned tree on the
+// engine, harden the observed statistics, and settle the materialized
+// frontier. The budget deadline is re-checked between trees; an overrun
+// returns engine.ErrBudget with the partial round's accounting already in
+// Result.
+func (s *Session) ExecuteRound() error {
+	if !s.execPending {
+		return fmt.Errorf("core: ExecuteRound without a pending EXECUTE")
+	}
+	s.execPending = false
+	asp := s.tr.Start(obs.KAction, Action{Kind: ActExecute}.Key())
+	ns := s.state.clone(false)
+	round := s.res.Executes + 1
+	// What the optimizer believes each intermediate will produce, under
+	// the prior's expectation, frozen before the world answers. Derived
+	// on a cloned store (and through Mean, not Sample) so recording the
+	// predictions perturbs neither the statistics set nor the RNG
+	// stream — traced and untraced runs stay bit-identical.
+	var ests map[string]float64
+	if s.tr.Active() || s.cfg.Metrics != nil {
+		dv := &cost.Deriver{Q: s.q, St: ns.St.Clone(), Miss: s.model.meanMiss()}
+		ests = make(map[string]float64)
+		for _, t := range ns.Planned {
+			estimateTree(dv, t.Tree, ests)
+		}
+	}
+	roundProduced := 0.0
+	for i, t := range ns.Planned {
+		if i > 0 && s.overDeadline() {
+			// The deadline passed while an earlier tree of this round ran:
+			// stop between trees rather than starting the next one. The
+			// completed trees' accounting is already in Result.
+			asp.SetStr("err", engine.ErrBudget.Error()).SetProduced(roundProduced).End()
+			return engine.ErrBudget
+		}
+		if t.Tree.Sigma {
+			s.res.SigmaOps++
+			s.cfg.Metrics.Counter("monsoon.sigma_ops").Inc()
+		}
+		t1 := time.Now()
+		_, er, err := s.eng.ExecTree(s.q, t.Tree, s.budget)
+		elapsed := time.Since(t1)
+		s.res.SigmaTime += er.SigmaTime
+		s.res.ExecTime += elapsed - er.SigmaTime
+		s.res.Produced += er.Produced
+		roundProduced += er.Produced
+		for k, v := range er.Counts {
+			s.st.SetCount(k, v)
+		}
+		for _, o := range er.Sigma {
+			s.st.SetMeasured(o.Term, o.Expr, o.D)
+		}
+		if err != nil {
+			asp.SetStr("err", err.Error()).SetProduced(roundProduced).End()
+			return err
+		}
+		s.res.Executed = append(s.res.Executed, t.Tree)
+		reportEstimates(s.tr, s.cfg.Metrics, t.Tree, ests, er.Counts, er.Times, round)
+		if s.tr.Active() {
+			s.tr.Message(fmt.Sprintf("  materialized %s (%.0f objects produced)", t.Tree, er.Produced))
+		}
+	}
+	settleExecution(ns)
+	s.st.DropAssumed()
+	s.state = ns
+	s.res.Executes++
+	s.cfg.Metrics.Counter("monsoon.executes").Inc()
+	asp.SetNum("trees", float64(len(ns.Planned))).SetProduced(roundProduced).End()
+	return nil
+}
+
+// Finalize computes the query's final aggregate from the materialized full
+// result and returns the completed Result. Call once the state is terminal
+// (PlanRound returned false without error).
+func (s *Session) Finalize() (*Result, error) {
+	rel, ok := s.eng.Materialized(s.q.Aliases().Key())
+	if !ok {
+		return s.res, fmt.Errorf("core: terminal state but result not materialized")
+	}
+	agg := s.tr.Start(obs.KAggregate, s.q.Aliases().Key())
+	v, err := engine.FinalAggregate(s.q, rel)
+	if err != nil {
+		agg.SetStr("err", err.Error()).End()
+		return s.res, err
+	}
+	agg.SetRows(rel.Count(), 1).End()
+	s.res.Value = v
+	s.res.Rows = rel.Count()
+	return s.res, nil
+}
+
+// canonicalShape renders the query's logical content (not its name) plus the
+// planner knobs that influence plan choice, as the cache-key prefix. Two
+// queries with the same shape, knobs, frontier, and bucketed statistics are
+// planning-equivalent, which is exactly when memoized rounds may be shared.
+func canonicalShape(q *query.Query, cfg Config) string {
+	var b strings.Builder
+	for _, r := range q.Rels {
+		fmt.Fprintf(&b, "%s=%s;", r.Alias, r.Table)
+	}
+	b.WriteByte('|')
+	for _, j := range q.Joins {
+		b.WriteString(j.String())
+		b.WriteByte(';')
+	}
+	b.WriteByte('|')
+	for _, sp := range q.Sels {
+		b.WriteString(sp.String())
+		b.WriteByte(';')
+	}
+	fmt.Fprintf(&b, "|out=%d,%s", q.Out.Kind, q.Out.Attr)
+	fmt.Fprintf(&b, "|seed=%d;it=%d;strat=%d;uni=%t;prior=%s",
+		cfg.Seed, cfg.Iterations, cfg.Strategy, cfg.UniformRollout, cfg.Prior.Name())
+	return b.String()
+}

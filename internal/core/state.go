@@ -41,6 +41,14 @@ type State struct {
 	// St is the statistics set S.
 	St *stats.Store
 
+	// plannedIdx and activeIdx map expression key → slice index so the
+	// find* lookups hit in every MCTS rollout stay O(1). They are
+	// maintained on clone and on every mutation of Planned/Active; keys
+	// are unique within each slice (the legality rules never plan or
+	// activate the same expression twice).
+	plannedIdx map[string]int
+	activeIdx  map[string]int
+
 	full query.AliasSet // alias set of the whole query
 	done bool           // a materialization covering the full set has run
 }
@@ -59,6 +67,32 @@ func NewInitialState(q *query.Query, st *stats.Store) *State {
 
 func (s *State) sortActive() {
 	sort.Slice(s.Active, func(i, j int) bool { return s.Active[i].Key() < s.Active[j].Key() })
+	s.reindexActive()
+}
+
+// reindexActive rebuilds activeIdx from the Active slice.
+func (s *State) reindexActive() {
+	s.activeIdx = make(map[string]int, len(s.Active))
+	for i, a := range s.Active {
+		s.activeIdx[a.Key()] = i
+	}
+}
+
+// reindexPlanned rebuilds plannedIdx from the Planned slice.
+func (s *State) reindexPlanned() {
+	s.plannedIdx = make(map[string]int, len(s.Planned))
+	for i, t := range s.Planned {
+		s.plannedIdx[t.Tree.Key()] = i
+	}
+}
+
+// addPlanned appends a tree to Rp and indexes it.
+func (s *State) addPlanned(t PlannedTree) {
+	if s.plannedIdx == nil {
+		s.plannedIdx = make(map[string]int, 1)
+	}
+	s.Planned = append(s.Planned, t)
+	s.plannedIdx[t.Tree.Key()] = len(s.Planned) - 1
 }
 
 // Terminal reports whether the full query result has been materialized. A
@@ -73,28 +107,37 @@ func (s *State) clone(withStats bool) *State {
 	c := &State{full: s.full, St: s.St, done: s.done}
 	c.Planned = append([]PlannedTree(nil), s.Planned...)
 	c.Active = append([]query.AliasSet(nil), s.Active...)
+	c.plannedIdx = cloneIndex(s.plannedIdx)
+	c.activeIdx = cloneIndex(s.activeIdx)
 	if withStats {
 		c.St = s.St.Clone()
 	}
 	return c
 }
 
+func cloneIndex(m map[string]int) map[string]int {
+	if m == nil {
+		return nil
+	}
+	c := make(map[string]int, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
 // findPlanned locates a planned tree by its root key; -1 when absent.
 func (s *State) findPlanned(key string) int {
-	for i, t := range s.Planned {
-		if t.Tree.Key() == key {
-			return i
-		}
+	if i, ok := s.plannedIdx[key]; ok {
+		return i
 	}
 	return -1
 }
 
 // findActive locates an active entry by key; -1 when absent.
 func (s *State) findActive(key string) int {
-	for i, a := range s.Active {
-		if a.Key() == key {
-			return i
-		}
+	if i, ok := s.activeIdx[key]; ok {
+		return i
 	}
 	return -1
 }

@@ -3,6 +3,8 @@ package harness
 import (
 	"testing"
 	"time"
+
+	"monsoon/internal/plancache"
 )
 
 // TestCampaignDeterminism: the whole pipeline — generation, every optimizer
@@ -44,5 +46,42 @@ func TestCampaignDeterminism(t *testing.T) {
 				t.Errorf("%s/%s: timeout decisions differ", name, ra[i].Query)
 			}
 		}
+	}
+}
+
+// TestCampaignCachedVsUncached: a campaign planned through a shared plan
+// cache makes exactly the plan choices the cache-off campaign makes — same
+// tuple costs, cardinalities, aggregates, and timeout decisions per query —
+// on both the cold pass (cache filling, all misses) and the warm pass
+// (replaying memoized rounds). CI runs this as the cached-vs-uncached
+// determinism gate.
+func TestCampaignCachedVsUncached(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	specs := tinySpecs(t)
+	run := func(c *plancache.Cache) []QueryResult {
+		opt := Monsoon{Iterations: 120, Cache: c}
+		br, err := RunBenchmark(specs, []Option{opt}, time.Minute, 2e6, 77, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return br.Results[opt.Name()]
+	}
+	ref := run(nil)
+	cache := plancache.New(0)
+	for _, label := range []string{"cold", "warm"} {
+		got := run(cache)
+		for i := range ref {
+			if got[i].Produced != ref[i].Produced || got[i].Rows != ref[i].Rows ||
+				got[i].Value != ref[i].Value || got[i].TimedOut != ref[i].TimedOut {
+				t.Errorf("%s/%s: produced/rows/value/timeout %v/%d/%v/%v, want %v/%d/%v/%v",
+					label, ref[i].Query, got[i].Produced, got[i].Rows, got[i].Value, got[i].TimedOut,
+					ref[i].Produced, ref[i].Rows, ref[i].Value, ref[i].TimedOut)
+			}
+		}
+	}
+	if cache.Stats().Hits == 0 {
+		t.Error("warm campaign pass never hit the cache")
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"monsoon/internal/expr"
 	"monsoon/internal/obs"
 	"monsoon/internal/plan"
+	"monsoon/internal/plancache"
 	"monsoon/internal/prior"
 	"monsoon/internal/query"
 	"monsoon/internal/stats"
@@ -41,6 +42,12 @@ type Scale struct {
 	// 0 = runtime.GOMAXPROCS(0), 1 = the exact serial path. Results are
 	// bit-identical at every setting; only wall times change.
 	Parallelism int
+	// PlanCache, when set, shares one plan cache across every Monsoon run
+	// of the campaign: repeated (query shape, statistics) planning states
+	// replay memoized rounds instead of re-running MCTS. Plan choices are
+	// unchanged for repeated identical runs; hit rates surface in the
+	// campaign metrics (-metrics) as monsoon.plancache.hits/misses.
+	PlanCache bool
 }
 
 // Tiny is the scale unit tests and testing.B benchmarks use.
@@ -92,11 +99,24 @@ type Runner struct {
 	imdbRes *BenchResult
 	ottRes  *BenchResult
 	udfRes  *BenchResult
+	cache   *plancache.Cache
 }
 
 func (r *Runner) monsoon() Monsoon {
 	return Monsoon{Iterations: r.Scale.MCTSIterations, Metrics: r.Metrics, Sink: r.Sink,
-		Parallelism: r.Scale.Parallelism}
+		Parallelism: r.Scale.Parallelism, Cache: r.planCache()}
+}
+
+// planCache lazily creates the campaign-shared cache when the scale enables
+// it; nil (caching off) otherwise.
+func (r *Runner) planCache() *plancache.Cache {
+	if !r.Scale.PlanCache {
+		return nil
+	}
+	if r.cache == nil {
+		r.cache = plancache.New(0)
+	}
+	return r.cache
 }
 
 // standardOptions is the Table 3/5 lineup.
@@ -465,5 +485,72 @@ func (r *Runner) Table8(w io.Writer) error {
 		fmt.Fprintf(w, "%-10s %-10s %-10s %-10s\n", row.label,
 			fmtDur(mcts/time.Duration(n)), fmtDur(sigma/time.Duration(n)), fmtDur(exec/time.Duration(n)))
 	}
+	return nil
+}
+
+// PlanCacheStudy measures the cross-session plan cache on the IMDB campaign:
+// a cache-off reference pass, a cold pass through a fresh shared cache, and a
+// warm pass through the now-populated cache, all with identical per-query
+// seeds. It reports each pass's total MCTS planning time and hit rate, the
+// warm-over-cold plan-time speedup, and verifies the warm pass reproduced the
+// reference results exactly (the cached≡uncached guarantee).
+func (r *Runner) PlanCacheStudy(w io.Writer) error {
+	sc := r.Scale
+	r.log("PlanCacheStudy: generating IMDB (%d titles)...", sc.IMDBTitles)
+	cat := imdb.Generate(imdb.Config{Titles: sc.IMDBTitles, Bootstrap: sc.IMDBBootstrap, Seed: sc.Seed})
+	var specs []QuerySpec
+	for _, q := range imdb.Queries(sc.IMDBQueryCount, sc.Seed) {
+		specs = append(specs, QuerySpec{Q: q, Cat: cat})
+	}
+	cache := plancache.New(0)
+	passes := []struct {
+		label string
+		opt   Monsoon
+	}{
+		{"uncached", Monsoon{Iterations: sc.MCTSIterations, Parallelism: sc.Parallelism}},
+		{"cold", Monsoon{Iterations: sc.MCTSIterations, Parallelism: sc.Parallelism, Cache: cache}},
+		{"warm", Monsoon{Iterations: sc.MCTSIterations, Parallelism: sc.Parallelism, Cache: cache}},
+	}
+	fmt.Fprintln(w, "Plan cache study: repeated IMDB campaign through one shared cache")
+	fmt.Fprintf(w, "%-10s %-12s %-12s %-8s %-8s %-8s\n", "Pass", "MCTS", "Total", "Hits", "Misses", "HitRate")
+	results := make([]*BenchResult, len(passes))
+	planTimes := make([]time.Duration, len(passes))
+	for i, p := range passes {
+		br, err := RunBenchmark(specs, []Option{p.opt}, sc.Timeout, sc.MaxTuples, sc.Seed, r.Progress)
+		if err != nil {
+			return err
+		}
+		results[i] = br
+		var mcts, total time.Duration
+		hits, misses := 0, 0
+		for _, qr := range br.Results[p.opt.Name()] {
+			mcts += qr.MCTSTime
+			total += qr.Time
+			hits += qr.CacheHits
+			misses += qr.CacheMisses
+		}
+		planTimes[i] = mcts
+		rate := "-"
+		if hits+misses > 0 {
+			rate = fmt.Sprintf("%.1f%%", 100*float64(hits)/float64(hits+misses))
+		}
+		fmt.Fprintf(w, "%-10s %-12s %-12s %-8d %-8d %-8s\n", p.label, fmtDur(mcts), fmtDur(total), hits, misses, rate)
+	}
+	// The cached≡uncached guarantee: the warm pass must reproduce the
+	// reference pass's results (same rows, aggregates, and objects produced
+	// per query); any divergence is a cache-soundness bug worth failing on.
+	ref := results[0].Results[passes[0].opt.Name()]
+	warm := results[2].Results[passes[2].opt.Name()]
+	for i := range ref {
+		if warm[i].Rows != ref[i].Rows || warm[i].Value != ref[i].Value || warm[i].Produced != ref[i].Produced {
+			return fmt.Errorf("plan cache diverged on %s: warm rows/value/produced %d/%g/%g vs %d/%g/%g",
+				ref[i].Query, warm[i].Rows, warm[i].Value, warm[i].Produced, ref[i].Rows, ref[i].Value, ref[i].Produced)
+		}
+	}
+	if planTimes[2] > 0 {
+		fmt.Fprintf(w, "warm-over-cold plan-time speedup: %.1fx; warm pass reproduced the uncached results exactly\n",
+			float64(planTimes[1])/float64(planTimes[2]))
+	}
+	fmt.Fprintf(w, "cache: %d entries, %d evictions\n", cache.Stats().Entries, cache.Stats().Evictions)
 	return nil
 }

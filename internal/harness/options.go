@@ -16,6 +16,7 @@ import (
 	"monsoon/internal/obs"
 	"monsoon/internal/opt"
 	"monsoon/internal/plan"
+	"monsoon/internal/plancache"
 	"monsoon/internal/prior"
 	"monsoon/internal/query"
 	"monsoon/internal/randx"
@@ -55,6 +56,9 @@ type Outcome struct {
 	QErrJoins int
 	QErrGeo   float64
 	QErrMax   float64
+	// CacheHits and CacheMisses count plan-cache consultations (Monsoon
+	// with a cache attached only; zero otherwise).
+	CacheHits, CacheMisses int
 	// Err carries non-budget failures (always a bug: surfaced, not hidden).
 	Err error
 }
@@ -299,6 +303,10 @@ type Monsoon struct {
 	Metrics *obs.Registry
 	// Parallelism caps the engine worker count (0 = GOMAXPROCS, 1 = serial).
 	Parallelism int
+	// Cache, when non-nil, memoizes planned rounds across the runs sharing
+	// it: repeated (query shape, statistics) states replay the memoized
+	// action sequence instead of re-running MCTS.
+	Cache *plancache.Cache
 }
 
 // Name implements Option.
@@ -323,11 +331,13 @@ func (m Monsoon) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, s
 		Sink:        obs.Multi(m.Sink, qs),
 		Metrics:     m.Metrics,
 		Parallelism: m.Parallelism,
+		Cache:       m.Cache,
 	})
 	out := Outcome{
 		Rows: res.Rows, Value: res.Value,
 		MCTSTime: res.PlanTime, SigmaTime: res.SigmaTime, ExecTime: res.ExecTime,
 		QErrJoins: qs.n, QErrGeo: qs.geo(), QErrMax: qs.max,
+		CacheHits: res.CacheHits, CacheMisses: res.CacheMisses,
 	}
 	return finish(start, b, err, out)
 }

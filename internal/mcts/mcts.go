@@ -98,6 +98,13 @@ type PlanStats struct {
 	Nodes int
 	// FastPath marks a call decided without search (≤ 1 legal action).
 	FastPath bool
+	// Line is the principal variation the search settled on: the action key
+	// MCTS picks at the root followed by the best-average action at each
+	// successive decision node (descending through the most-visited outcome
+	// of stochastic edges), until a terminal, unexpanded, or never-visited
+	// node. The driver memoizes it in the plan cache and attaches it to plan
+	// spans; on the fast path it holds just the forced action.
+	Line []string
 }
 
 // Planner runs MCTS. It is not safe for concurrent use.
@@ -154,6 +161,7 @@ func (p *Planner) Plan(m Model, root State) Action {
 	}
 	if len(rootNode.actions) == 1 {
 		p.last.FastPath = true
+		p.last.Line = []string{rootNode.actions[0].Key()}
 		return rootNode.actions[0]
 	}
 	p.minRet, p.maxRet, p.haveRet = 0, 0, false
@@ -161,9 +169,21 @@ func (p *Planner) Plan(m Model, root State) Action {
 		p.simulate(m, rootNode, 0, i)
 		p.last.Rollouts++
 	}
+	p.last.Line = principalVariation(rootNode, p.cfg.MaxDepth)
+	best := bestVisited(rootNode)
+	if best < 0 {
+		p.last.Line = []string{rootNode.actions[0].Key()}
+		return rootNode.actions[0]
+	}
+	return rootNode.actions[best]
+}
+
+// bestVisited returns the index of the visited edge with the best average
+// return, -1 when no edge was visited.
+func bestVisited(n *node) int {
 	best := -1
 	bestVal := math.Inf(-1)
-	for i, e := range rootNode.edges {
+	for i, e := range n.edges {
 		if e == nil || e.visits == 0 {
 			continue
 		}
@@ -173,10 +193,31 @@ func (p *Planner) Plan(m Model, root State) Action {
 			best = i
 		}
 	}
-	if best < 0 {
-		return rootNode.actions[0]
+	return best
+}
+
+// principalVariation extracts the search's settled line of play: follow the
+// best-average edge at each decision node, and the most-visited outcome
+// (ties broken by key for determinism) under each stochastic edge.
+func principalVariation(n *node, maxDepth int) []string {
+	var line []string
+	for n != nil && len(line) < maxDepth {
+		i := bestVisited(n)
+		if i < 0 {
+			break
+		}
+		e := n.edges[i]
+		line = append(line, e.action.Key())
+		var next *node
+		bestVisits, bestKey := -1, ""
+		for key, child := range e.kids {
+			if child.visits > bestVisits || (child.visits == bestVisits && key < bestKey) {
+				bestVisits, bestKey, next = child.visits, key, child
+			}
+		}
+		n = next
 	}
-	return rootNode.actions[best]
+	return line
 }
 
 // simulate runs one selection→expansion→rollout→backpropagation pass and

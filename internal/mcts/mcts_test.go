@@ -239,6 +239,55 @@ func TestNormalizeDegenerate(t *testing.T) {
 	}
 }
 
+// TestPlanStatsLine: the principal variation starts with the picked action,
+// descends to a terminal in the chain game, and degenerates to the forced
+// action on the fast path.
+func TestPlanStatsLine(t *testing.T) {
+	g := &chainGame{depth: 4}
+	p := New(Config{Iterations: 300}, randx.New(3))
+	a := p.Plan(g, chainState{depth: 4})
+	line := p.LastStats().Line
+	if len(line) == 0 || line[0] != a.Key() {
+		t.Fatalf("line %v must start with the picked action %q", line, a.Key())
+	}
+	if len(line) > 4 {
+		t.Errorf("line %v longer than the game's depth", line)
+	}
+	for i, k := range line {
+		if k != "0" {
+			t.Errorf("line[%d] = %q, want the zero-cost chain action", i, k)
+		}
+	}
+
+	sp := New(Config{Iterations: 100}, randx.New(1))
+	sa := sp.Plan(&singleGame{}, banditState{})
+	if l := sp.LastStats().Line; len(l) != 1 || l[0] != sa.Key() {
+		t.Errorf("fast-path line = %v, want [%q]", l, sa.Key())
+	}
+	if tp := New(Config{}, randx.New(1)); tp.Plan(bandit{}, banditState{done: true}) != nil ||
+		tp.LastStats().Line != nil {
+		t.Error("terminal root must leave the line empty")
+	}
+}
+
+// TestLineCrossesChanceNodes: in the probe game the settled line must be
+// probe followed by the certainty guess of the most-visited outcome.
+func TestLineCrossesChanceNodes(t *testing.T) {
+	rng := randx.New(42)
+	g := &probeGame{rng: rng}
+	p := New(Config{Iterations: 4000}, rng)
+	if a := p.Plan(g, probeState{}); a.Key() != "probe" {
+		t.Fatalf("picked %q, want probe", a.Key())
+	}
+	line := p.LastStats().Line
+	if len(line) < 2 || line[0] != "probe" {
+		t.Fatalf("line = %v, want probe followed by a guess", line)
+	}
+	if line[1] != "guess0" && line[1] != "guess1" {
+		t.Errorf("line[1] = %q, want a guess", line[1])
+	}
+}
+
 func TestDeterministicGivenSeed(t *testing.T) {
 	run := func() string {
 		rng := randx.New(11)

@@ -56,6 +56,12 @@ const (
 	KCollect = "collect"
 )
 
+// AttrCacheHit is the string attribute set on KPlan spans when a plan cache
+// is configured: "true" on spans whose decision was served by replaying a
+// memoized round, "false" on spans that ran MCTS. Absent when no cache is
+// attached to the run.
+const AttrCacheHit = "cache_hit"
+
 // Span is one timed region. IDs are unique within a Tracer; Parent is 0 for
 // the root. Rows and Produced carry the operator's data flow: rows consumed,
 // rows emitted, and objects charged against the engine.Budget (the §4.4

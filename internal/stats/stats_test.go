@@ -179,3 +179,70 @@ func TestBucketSignatureDelimiterCollision(t *testing.T) {
 		t.Error("expr/partner boundary is ambiguous in assumed entries")
 	}
 }
+
+// TestBucketSignatureCloneStable is a plan-cache key-soundness invariant:
+// cloning a store — what every MCTS rollout and every estimate freeze does —
+// must not perturb the signature, or cache keys computed before and after a
+// planning pass would diverge on identical statistics.
+func TestBucketSignatureCloneStable(t *testing.T) {
+	s := New()
+	s.SetCount("R", 1000)
+	s.SetCount("R+S", 31)
+	s.SetMeasured(0, "R", 500)
+	s.SetMeasured(2, "R+S", 12)
+	s.SetAssumed(1, "S", "R", 7)
+	c := s.Clone()
+	if s.BucketSignature() != c.BucketSignature() {
+		t.Errorf("clone signature diverged:\n%q\n%q", s.BucketSignature(), c.BucketSignature())
+	}
+	// Mutating the clone afterwards must not leak back.
+	c.SetCount("R", 1e6)
+	if s.BucketSignature() == c.BucketSignature() {
+		t.Error("mutated clone must split from the original")
+	}
+	if got := s.Clone().BucketSignature(); got != s.BucketSignature() {
+		t.Errorf("original drifted after clone mutation: %q", got)
+	}
+}
+
+// TestBucketSignatureHardeningBoundary pins the plan cache's invalidation
+// mechanism: hardening a count across a log₂ bucket boundary changes the
+// signature (so stale memoized plans become unreachable), while hardening
+// within a bucket leaves it unchanged (so bucket-equivalent worlds keep
+// sharing plans). Bucket edges sit at v+1 = 2^k: 1000 and 1023 land in
+// buckets 9 and 10, while 600 shares bucket 9 with 1000.
+func TestBucketSignatureHardeningBoundary(t *testing.T) {
+	base := New()
+	base.SetCount("R+S", 1000)
+	within := New()
+	within.SetCount("R+S", 600)
+	if base.BucketSignature() != within.BucketSignature() {
+		t.Errorf("within-bucket hardening must keep the key: %q vs %q",
+			base.BucketSignature(), within.BucketSignature())
+	}
+	across := New()
+	across.SetCount("R+S", 1023)
+	if base.BucketSignature() == across.BucketSignature() {
+		t.Error("hardening across a log2 boundary must change the key")
+	}
+	// The same holds for measured distinct counts, the other hardened kind.
+	mBase, mWithin, mAcross := New(), New(), New()
+	mBase.SetMeasured(3, "R+S", 1000)
+	mWithin.SetMeasured(3, "R+S", 600)
+	mAcross.SetMeasured(3, "R+S", 1023)
+	if mBase.BucketSignature() != mWithin.BucketSignature() {
+		t.Error("within-bucket measured hardening must keep the key")
+	}
+	if mBase.BucketSignature() == mAcross.BucketSignature() {
+		t.Error("boundary-crossing measured hardening must change the key")
+	}
+	// Hardening a previously unknown statistic (new entry) always changes
+	// the key: an unknown and a known-but-bucket-equal world are different
+	// planning states.
+	grown := New()
+	grown.SetCount("R+S", 1000)
+	grown.SetMeasured(3, "R+S", 8)
+	if grown.BucketSignature() == base.BucketSignature() {
+		t.Error("newly hardened entries must change the key")
+	}
+}
