@@ -279,6 +279,17 @@ func WithMetrics(reg *MetricsRegistry) RunOption { return func(c *runConfig) { c
 // when the process must not spawn goroutines.
 func WithParallelism(n int) RunOption { return func(c *runConfig) { c.core.Parallelism = n } }
 
+// WithPlanParallelism caps the OS threads the root-parallel MCTS planner runs
+// its search shards on: 1 forces serial planning, N > 1 uses up to N threads,
+// and 0 (the default) uses runtime.GOMAXPROCS(0). The search decomposition is
+// fixed by the planner configuration alone, so every setting yields the
+// byte-identical run — same plans, same trace, same visit counts — and the
+// knob trades planning wall time only. Independent of WithParallelism, which
+// governs the execution engine's workers.
+func WithPlanParallelism(n int) RunOption {
+	return func(c *runConfig) { c.core.PlanParallelism = n }
+}
+
 // WithPlanCache memoizes planned rounds in c and replays them on repeats:
 // before each MCTS call the run consults c, keyed by the query's canonical
 // shape, the planner knobs, and the current MDP state with log₂-bucketed

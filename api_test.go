@@ -288,3 +288,34 @@ func TestWithParallelismDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestWithPlanParallelismDeterministic(t *testing.T) {
+	// The planner knob mirrors the engine knob: any thread cap on the
+	// root-parallel MCTS shards — including more threads than shards — must
+	// reproduce the forced-serial run bit-for-bit, down to the trace lines
+	// the searched plans emit.
+	run := func(opts ...RunOption) (*Report, []string) {
+		var lines []string
+		rep, err := Run(buildQuery(), buildWorld(),
+			append([]RunOption{WithSeed(5), WithIterations(300),
+				WithTrace(func(s string) { lines = append(lines, s) })}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, lines
+	}
+	serial, serialLines := run(WithPlanParallelism(1))
+	for _, w := range []int{0, 2, 64} {
+		rep, lines := run(WithPlanParallelism(w))
+		if rep.Rows != serial.Rows || rep.Value != serial.Value || rep.Produced != serial.Produced ||
+			rep.Actions != serial.Actions || rep.Executes != serial.Executes {
+			t.Errorf("plan parallelism %d diverged: %+v vs serial %+v", w, rep.Result, serial.Result)
+		}
+		if !reflect.DeepEqual(lines, serialLines) {
+			t.Errorf("plan parallelism %d trace:\n%q\nserial:\n%q", w, lines, serialLines)
+		}
+		if !reflect.DeepEqual(rep.Output.Rows, serial.Output.Rows) {
+			t.Errorf("plan parallelism %d output relation differs from serial", w)
+		}
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"testing"
 	"time"
 
+	"monsoon/internal/bench/tpch"
+	"monsoon/internal/core"
 	"monsoon/internal/engine"
 	"monsoon/internal/expr"
 	"monsoon/internal/harness"
@@ -202,6 +204,57 @@ func benchLargeJoin(b *testing.B, parallelism int) {
 // delta is pure probe-side speedup from the partitioned parallel path.
 func BenchmarkLargeJoinSerial(b *testing.B)   { benchLargeJoin(b, 1) }
 func BenchmarkLargeJoinParallel(b *testing.B) { benchLargeJoin(b, 0) }
+
+// benchPlanPhase measures the cold-cache plan phase alone on the small
+// campaign's TPC-H workload (the suite recorded in campaign_small.txt): every
+// iteration plans each query from scratch — no plan cache, full MCTS every
+// round — with the timer stopped while the EXECUTE rounds run, so the pair
+// below isolates what root-parallel planning buys on a cache miss. Both
+// settings plan byte-identically (TestPlanParallelismGolden); the delta is
+// planner wall time only.
+func benchPlanPhase(b *testing.B, planWorkers int) {
+	sc := harness.Small()
+	cat := tpch.Generate(tpch.Config{ScaleFactor: sc.TPCHSF, Seed: sc.Seed})
+	queries := tpch.Queries()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			b.StopTimer()
+			eng := engine.New(cat)
+			s := core.NewSession(q, eng, &engine.Budget{MaxTuples: sc.MaxTuples}, core.Config{
+				Seed: sc.Seed, Iterations: sc.MCTSIterations, PlanParallelism: planWorkers,
+			})
+			b.StartTimer()
+			for {
+				execute, err := s.PlanRound()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !execute {
+					break
+				}
+				b.StopTimer()
+				if err := s.ExecuteRound(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			b.StopTimer()
+			if _, err := s.Finalize(); err != nil {
+				b.Fatal(err)
+			}
+			s.Close()
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkPlanPhaseSerial / BenchmarkPlanPhaseParallel8 are the cold-cache
+// planner pair: the serial plan phase versus the root-parallel planner capped
+// at 8 threads. The measured speedup (or its absence on few-core hosts) is
+// recorded in EXPERIMENTS.md.
+func BenchmarkPlanPhaseSerial(b *testing.B)    { benchPlanPhase(b, 1) }
+func BenchmarkPlanPhaseParallel8(b *testing.B) { benchPlanPhase(b, 8) }
 
 func benchMonsoonRepeat(b *testing.B, cache *PlanCache) {
 	cat := buildWorld()

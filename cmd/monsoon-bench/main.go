@@ -3,11 +3,13 @@
 //
 // Usage:
 //
-//	monsoon-bench [-scale tiny|small|medium] [-exp all|table1|table2|...|figure3|plancache] [-seed N] [-parallelism N] [-plan-cache] [-v] [-metrics] [-trace-json FILE]
+//	monsoon-bench [-scale tiny|small|medium] [-exp all|table1|table2|...|figure3|plancache] [-seed N] [-parallelism N] [-plan-parallelism N] [-plan-cache] [-v] [-metrics] [-trace-json FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // Output goes to stdout; progress (with -v) and the -metrics dump to stderr.
 // With -trace-json, every Monsoon run of the campaign streams its structured
-// trace (spans, messages, estimate records) to FILE as JSON lines.
+// trace (spans, messages, estimate records) to FILE as JSON lines. The
+// -cpuprofile and -memprofile flags write pprof profiles of the campaign for
+// `go tool pprof`.
 package main
 
 import (
@@ -15,6 +17,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"monsoon/internal/harness"
 	"monsoon/internal/obs"
@@ -25,11 +29,43 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: all, table1..table8, figure1..figure3, ablation, estimates, plancache")
 	seed := flag.Int64("seed", 1, "master seed")
 	par := flag.Int("parallelism", 0, "engine worker count: 0 = all cores, 1 = serial (results are identical either way)")
+	planPar := flag.Int("plan-parallelism", 0, "MCTS planner thread count: 0 = all cores, 1 = serial (plans are identical either way)")
 	verbose := flag.Bool("v", false, "print per-query progress to stderr")
 	metrics := flag.Bool("metrics", false, "dump the campaign's accumulated Monsoon metrics to stderr on exit")
 	traceJSON := flag.String("trace-json", "", "write the structured traces of the campaign's Monsoon runs as JSON lines to FILE")
 	planCache := flag.Bool("plan-cache", false, "share one plan cache across the campaign's Monsoon runs (hit rates in -metrics)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the campaign to FILE")
+	memProfile := flag.String("memprofile", "", "write a heap profile to FILE on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cannot create CPU profile: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cannot start CPU profile: %v\n", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cannot create heap profile: %v\n", err)
+			os.Exit(2)
+		}
+		// Written on exit via defer, after the campaign's allocations settle.
+		defer func() {
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "cannot write heap profile: %v\n", err)
+			}
+		}()
+	}
 
 	var sc harness.Scale
 	switch *scaleName {
@@ -45,6 +81,7 @@ func main() {
 	}
 	sc.Seed = *seed
 	sc.Parallelism = *par
+	sc.PlanParallelism = *planPar
 	sc.PlanCache = *planCache
 
 	var progress io.Writer

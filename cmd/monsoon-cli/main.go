@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	monsoon-cli -bench tpch|imdb|ott|udf [-query NAME] [-opt monsoon|postgres|defaults|greedy|ondemand|sampling|skinner] [-prior NAME] [-scale tiny|small|medium] [-seed N] [-parallelism N] [-plan-cache] [-repeat N] [-trace-json FILE] [-metrics]
+//	monsoon-cli -bench tpch|imdb|ott|udf [-query NAME] [-opt monsoon|postgres|defaults|greedy|ondemand|sampling|skinner] [-prior NAME] [-scale tiny|small|medium] [-seed N] [-parallelism N] [-plan-parallelism N] [-plan-cache] [-repeat N] [-trace-json FILE] [-metrics]
 //
 // Without -query, the available query names for the benchmark are listed.
 package main
@@ -41,6 +41,7 @@ func main() {
 	scaleName := flag.String("scale", "tiny", "data scale: tiny, small, or medium")
 	seed := flag.Int64("seed", 1, "seed")
 	par := flag.Int("parallelism", 0, "engine worker count: 0 = all cores, 1 = serial (results are identical either way)")
+	planPar := flag.Int("plan-parallelism", 0, "MCTS planner thread count: 0 = all cores, 1 = serial (plans are identical either way; monsoon only)")
 	explain := flag.Bool("explain", false, "print the chosen plan with estimates and actuals (postgres, defaults, greedy)")
 	traceJSON := flag.String("trace-json", "", "write the structured trace (spans, messages, estimates) as JSON lines to FILE")
 	metrics := flag.Bool("metrics", false, "dump the run's metrics registry to stderr")
@@ -61,6 +62,7 @@ func main() {
 	}
 	sc.Seed = *seed
 	sc.Parallelism = *par
+	sc.PlanParallelism = *planPar
 
 	specs := loadSpecs(*benchName, sc)
 	if *queryName == "" {
@@ -195,12 +197,13 @@ func runMonsoonTraced(spec harness.QuerySpec, sc harness.Scale, priorName string
 		eng.Parallelism = sc.Parallelism
 		budget := &engine.Budget{MaxTuples: sc.MaxTuples, Deadline: time.Now().Add(sc.Timeout)}
 		cfg := core.Config{
-			Prior:       p,
-			Iterations:  sc.MCTSIterations,
-			Seed:        sc.Seed,
-			Metrics:     reg,
-			Parallelism: sc.Parallelism,
-			Cache:       cache,
+			Prior:           p,
+			Iterations:      sc.MCTSIterations,
+			Seed:            sc.Seed,
+			Metrics:         reg,
+			Parallelism:     sc.Parallelism,
+			PlanParallelism: sc.PlanParallelism,
+			Cache:           cache,
 		}
 		if i == 0 {
 			col = &obs.Collector{}

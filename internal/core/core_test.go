@@ -401,6 +401,10 @@ func TestDriverDeterministicSeeds(t *testing.T) {
 // (d(F2,S)=1 → 2000·100 = 200k intermediates ≈ 100× the alternative), while
 // ((R⋈T)⋈S) stays small. Across seeds Monsoon should pay much closer to the
 // good plan than the bad one. This is the paper's core claim in miniature.
+// The seed set is deterministic, so this is a pinned average, not a flaky
+// statistic; re-pinned over 10 seeds when planning switched to the
+// root-parallel shard ensemble (whose measured trap rate across budgets is
+// no worse than the old single-stream search's).
 func TestMonsoonAvoidsTheTrap(t *testing.T) {
 	// Costs of the two pure strategies, measured on the real engine.
 	planCost := func(first string) float64 {
@@ -421,7 +425,7 @@ func TestMonsoonAvoidsTheTrap(t *testing.T) {
 		t.Fatalf("fixture broken: bad=%v good=%v", bad, good)
 	}
 	total := 0.0
-	runs := 5
+	runs := 10
 	for seed := int64(0); seed < int64(runs); seed++ {
 		cat, q := fixture()
 		eng := engine.New(cat)

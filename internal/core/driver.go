@@ -54,6 +54,13 @@ type Config struct {
 	// bit-identical — same result rows, Σ estimates, and plan choices —
 	// so the knob trades wall time only.
 	Parallelism int
+	// PlanParallelism caps the OS threads the root-parallel MCTS planner
+	// runs search shards on: 0 means all cores, 1 forces serial execution.
+	// The search's logical decomposition — shard quotas, per-shard RNG
+	// seeds, merge order — is fixed by the iteration budget alone, so every
+	// setting picks byte-identical plans; the knob trades planning wall
+	// time only.
+	PlanParallelism int
 	// Cache, when non-nil, memoizes planned rounds across planning calls,
 	// rounds, and sessions sharing the cache: before each MCTS call the
 	// session looks up (canonical query shape, planner knobs, MDP state

@@ -8,10 +8,14 @@ import (
 )
 
 // goldenRun is one pinned (fixture, seed) trajectory of the driver: the
-// multi-step plan the MDP settled on and its full accounting. The values were
-// captured from the pre-Session monolithic core.Run; the Session refactor and
-// every future change to the driver must reproduce them bit-for-bit (same
-// plans, same objects produced, same action counts) or consciously re-pin.
+// multi-step plan the MDP settled on and its full accounting. Originally
+// captured from the pre-Session monolithic core.Run; re-pinned when planning
+// switched to the root-parallel shard ensemble (which changed the RNG stream
+// decomposition — and, on this fixture, made every seed converge on the
+// probe-then-join strategy the old single-stream search only found for some
+// seeds). Every future change to the driver must reproduce these values
+// bit-for-bit (same plans, same objects produced, same action counts) or
+// consciously re-pin.
 type goldenRun struct {
 	seed                        int64
 	iterations                  int
@@ -23,12 +27,12 @@ type goldenRun struct {
 }
 
 var goldenFixtureRuns = []goldenRun{
-	{seed: 7, iterations: 300, rows: 0, value: 0, produced: 202200,
-		actions: 3, executes: 1, sigmaOps: 0, trees: []string{"(T⋈(R⋈S))"}},
+	{seed: 7, iterations: 300, rows: 0, value: 0, produced: 2400,
+		actions: 5, executes: 2, sigmaOps: 1, trees: []string{"Σ(T)", "(S⋈(R⋈T))"}},
 	{seed: 11, iterations: 300, rows: 0, value: 0, produced: 2400,
-		actions: 4, executes: 1, sigmaOps: 1, trees: []string{"Σ(S)", "(S⋈(R⋈T))"}},
-	{seed: 42, iterations: 300, rows: 0, value: 0, produced: 2200,
-		actions: 3, executes: 1, sigmaOps: 0, trees: []string{"(S⋈(R⋈T))"}},
+		actions: 5, executes: 2, sigmaOps: 1, trees: []string{"Σ(S)", "(S⋈(R⋈T))"}},
+	{seed: 42, iterations: 300, rows: 0, value: 0, produced: 2400,
+		actions: 5, executes: 2, sigmaOps: 1, trees: []string{"Σ(S)", "(S⋈(R⋈T))"}},
 }
 
 func checkGolden(t *testing.T, label string, g goldenRun, res *Result) {
@@ -84,10 +88,11 @@ func TestGoldenSeedBehaviorBig(t *testing.T) {
 func TestGoldenTraceLines(t *testing.T) {
 	want := []string{
 		"add Σ(S) to Rp",
+		"EXECUTE",
+		"  materialized Σ(S) (200 objects produced)",
 		"join materialized R ⋈ T",
 		"join materialized S with planned R+T",
 		"EXECUTE",
-		"  materialized Σ(S) (200 objects produced)",
 		"  materialized (S⋈(R⋈T)) (2200 objects produced)",
 	}
 	cat, q := fixture()

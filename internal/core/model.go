@@ -10,6 +10,7 @@ import (
 	"monsoon/internal/plan"
 	"monsoon/internal/prior"
 	"monsoon/internal/query"
+	"monsoon/internal/randx"
 )
 
 // Model is the MDP simulator MCTS plans against (§4.3). Plan edits transition
@@ -30,7 +31,17 @@ type Model struct {
 var (
 	_ mcts.Model        = (*Model)(nil)
 	_ mcts.RolloutModel = (*Model)(nil)
+	_ mcts.Forker       = (*Model)(nil)
 )
+
+// Fork implements mcts.Forker: an independent simulator for one search
+// shard. The query and prior are immutable and shared; the prior-sampling
+// RNG — the model's only mutable state — is private to the fork, seeded from
+// seed, so shards step their simulators concurrently without touching each
+// other's sample streams.
+func (m *Model) Fork(seed int64) mcts.Model {
+	return &Model{Q: m.Q, Prior: m.Prior, Rng: randx.New(seed), UniformRollout: m.UniformRollout}
+}
 
 // Legal implements mcts.Model.
 func (m *Model) Legal(s mcts.State) []mcts.Action {

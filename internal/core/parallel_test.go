@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"monsoon/internal/engine"
@@ -72,6 +73,93 @@ func TestRunSerialParallelIdentical(t *testing.T) {
 			if p.Executed[i].String() != ser.Executed[i].String() {
 				t.Errorf("parallelism %d: executed tree %d is %s, serial %s",
 					par, i, p.Executed[i], ser.Executed[i])
+			}
+		}
+	}
+}
+
+// TestPlanParallelismGolden is the planner-side determinism gate, the mirror
+// of TestRunSerialParallelIdentical: PlanParallelism caps the OS threads the
+// root-parallel MCTS shards run on, and every setting — serial, fewer threads
+// than shards, more threads than shards — must produce the byte-identical
+// run: same result accounting, same executed trees, same trace lines, and
+// plan spans whose search statistics match attribute-for-attribute.
+func TestPlanParallelismGolden(t *testing.T) {
+	type capture struct {
+		res   *Result
+		lines []string
+		plans []*obs.Span
+	}
+	run := func(workers int) capture {
+		cat, q := fixture()
+		eng := engine.New(cat)
+		col := &obs.Collector{}
+		var lines []string
+		res, err := Run(q, eng, &engine.Budget{}, Config{
+			Seed: 11, Iterations: 300, PlanParallelism: workers,
+			Sink: col, Trace: func(s string) { lines = append(lines, s) },
+		})
+		if err != nil {
+			t.Fatalf("plan parallelism %d: %v", workers, err)
+		}
+		return capture{res: res, lines: lines, plans: col.SpansOf(obs.KPlan)}
+	}
+	ser := run(1)
+	for _, w := range []int{0, 2, 7, 64} {
+		p := run(w)
+		if p.res.Value != ser.res.Value || p.res.Rows != ser.res.Rows ||
+			p.res.Produced != ser.res.Produced || p.res.Actions != ser.res.Actions ||
+			p.res.Executes != ser.res.Executes || p.res.SigmaOps != ser.res.SigmaOps {
+			t.Errorf("plan parallelism %d: result diverged: %+v vs serial %+v", w, p.res, ser.res)
+		}
+		if !reflect.DeepEqual(runTrees(p.res), runTrees(ser.res)) {
+			t.Errorf("plan parallelism %d: trees %q, serial %q", w, runTrees(p.res), runTrees(ser.res))
+		}
+		if !reflect.DeepEqual(p.lines, ser.lines) {
+			t.Errorf("plan parallelism %d: trace\n%q\nserial\n%q", w, p.lines, ser.lines)
+		}
+		if len(p.plans) != len(ser.plans) {
+			t.Fatalf("plan parallelism %d: %d plan spans, serial %d", w, len(p.plans), len(ser.plans))
+		}
+		for i, sp := range p.plans {
+			for _, key := range []string{"rollouts", "root_actions", "tree_depth", "nodes"} {
+				if sp.Num[key] != ser.plans[i].Num[key] {
+					t.Errorf("plan parallelism %d span %d: %s = %v, serial %v",
+						w, i, key, sp.Num[key], ser.plans[i].Num[key])
+				}
+			}
+		}
+	}
+}
+
+// TestPlanSpanWorkersAttr pins the plan_workers telemetry contract: the
+// attribute is absent on serial planning spans and reports the thread count
+// on parallel ones, keeping serial and parallel span streams comparable.
+func TestPlanSpanWorkersAttr(t *testing.T) {
+	for _, c := range []struct {
+		workers int
+		want    float64 // 0 = attribute absent
+	}{{1, 0}, {2, 2}} {
+		cat, q := fixture()
+		eng := engine.New(cat)
+		col := &obs.Collector{}
+		res, err := Run(q, eng, &engine.Budget{}, Config{
+			Seed: 7, Iterations: 300, PlanParallelism: c.workers, Sink: col,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Actions == 0 {
+			t.Fatal("fixture run planned no actions")
+		}
+		for i, sp := range col.SpansOf(obs.KPlan) {
+			got, ok := sp.Num[obs.AttrPlanWorkers]
+			if c.want == 0 && ok {
+				t.Errorf("workers=%d span %d: plan_workers = %v, want absent on serial spans", c.workers, i, got)
+			}
+			// Fast-path spans never search, so they stay serial at any cap.
+			if c.want > 0 && sp.Str["fast_path"] == "" && got != c.want {
+				t.Errorf("workers=%d span %d: plan_workers = %v, want %v", c.workers, i, got, c.want)
 			}
 		}
 	}

@@ -53,7 +53,7 @@ type Session struct {
 	st      *stats.Store
 	state   *State
 	model   *Model
-	planner *mcts.Planner
+	planner *mcts.RootPlanner
 	tr      *obs.Tracer
 	res     *Result
 
@@ -110,10 +110,17 @@ func NewSession(q *query.Query, eng *engine.Engine, budget *engine.Budget, cfg C
 		Rng:            randx.New(randx.Derive(cfg.Seed, "sim")),
 		UniformRollout: cfg.UniformRollout,
 	}
-	s.planner = mcts.New(mcts.Config{
-		Strategy:   cfg.Strategy,
-		Iterations: cfg.Iterations,
-	}, randx.New(randx.Derive(cfg.Seed, "mcts")))
+	// Planning is root-parallel: the rollout budget is pre-split into shards
+	// whose count, quotas, and RNG seeds depend only on (seed, iterations),
+	// never on PlanParallelism — so the thread cap trades planning wall time
+	// without moving a single plan choice (see TestPlanParallelismGolden).
+	s.planner = mcts.NewRoot(mcts.RootConfig{
+		Config: mcts.Config{
+			Strategy:   cfg.Strategy,
+			Iterations: cfg.Iterations,
+		},
+		Workers: cfg.PlanParallelism,
+	}, randx.Derive(cfg.Seed, "mcts"))
 
 	if cfg.Cache != nil {
 		s.shape = canonicalShape(q, cfg)
@@ -133,6 +140,14 @@ func (s *Session) Close() {
 		return
 	}
 	s.closed = true
+	if s.cfg.Cache != nil && s.cfg.Metrics != nil {
+		// Cache pressure next to the hit/miss counters: entries and
+		// cumulative evictions are cache-wide (shared across sessions), as
+		// last-write-wins gauges.
+		cs := s.cfg.Cache.Stats()
+		s.cfg.Metrics.Gauge("monsoon.plancache.entries").Set(float64(cs.Entries))
+		s.cfg.Metrics.Gauge("monsoon.plancache.evictions").Set(float64(cs.Evictions))
+	}
 	s.qsp.SetRows(0, s.res.Rows).SetProduced(s.res.Produced).
 		SetNum("actions", float64(s.res.Actions)).
 		SetNum("executes", float64(s.res.Executes)).
@@ -203,6 +218,12 @@ func (s *Session) PlanRound() (bool, error) {
 			SetNum("root_actions", float64(ps.RootActions)).
 			SetNum("tree_depth", float64(ps.MaxDepth)).
 			SetNum("nodes", float64(ps.Nodes))
+		if ps.Workers > 1 {
+			// Mirrors the engine's convention: the attribute appears only
+			// when the search actually fanned out, so serial and parallel
+			// span streams stay comparable attribute-for-attribute.
+			psp.SetNum(obs.AttrPlanWorkers, float64(ps.Workers))
+		}
 		if ps.FastPath {
 			psp.SetStr("fast_path", "true")
 		}
@@ -212,6 +233,12 @@ func (s *Session) PlanRound() (bool, error) {
 		psp.End()
 		s.res.PlanTime += planElapsed
 		s.cfg.Metrics.Histogram("monsoon.plan.time").ObserveDuration(planElapsed)
+		if !ps.FastPath {
+			// Search-only planning latency: fast-path calls skip MCTS, so
+			// keeping them out makes this the planner-parallelism signal the
+			// plan_workers attribute is read against.
+			s.cfg.Metrics.Histogram("monsoon.plan.search.time").ObserveDuration(planElapsed)
+		}
 		if picked == nil {
 			return false, fmt.Errorf("core: no legal action in non-terminal state %s", s.state)
 		}

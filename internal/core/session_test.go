@@ -135,6 +135,40 @@ func TestPlanCacheMetricsCounters(t *testing.T) {
 	}
 }
 
+// TestPlanCacheMetricsGauges: cache pressure — current size and LRU
+// evictions — surfaces in the registry alongside the hit/miss counters, set
+// when the session closes. A capacity-1 cache under a multi-round run must
+// evict; an unbounded one must not.
+func TestPlanCacheMetricsGauges(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		cap  int
+	}{{"unbounded", 0}, {"capacity-1", 1}} {
+		cache := plancache.New(c.cap)
+		reg := obs.NewRegistry()
+		cat, q := fixture()
+		eng := engine.New(cat)
+		if _, err := Run(q, eng, &engine.Budget{}, Config{Seed: 7, Iterations: 300,
+			Cache: cache, Metrics: reg}); err != nil {
+			t.Fatal(err)
+		}
+		cs := cache.Stats()
+		if got := reg.Gauge("monsoon.plancache.entries").Value(); got != float64(cs.Entries) {
+			t.Errorf("%s: plancache.entries gauge = %v, cache reports %d", c.name, got, cs.Entries)
+		}
+		if got := reg.Gauge("monsoon.plancache.evictions").Value(); got != float64(cs.Evictions) {
+			t.Errorf("%s: plancache.evictions gauge = %v, cache reports %d", c.name, got, cs.Evictions)
+		}
+		evicted := cs.Evictions > 0
+		if wantEvict := c.cap == 1; evicted != wantEvict {
+			t.Errorf("%s: evictions = %d, want evictions iff capacity-bounded", c.name, cs.Evictions)
+		}
+		if cs.Entries < 1 {
+			t.Errorf("%s: cache holds %d entries after the run, want ≥ 1", c.name, cs.Entries)
+		}
+	}
+}
+
 // TestSessionManualDrive: driving the phases by hand is the same run the
 // compatibility wrapper performs.
 func TestSessionManualDrive(t *testing.T) {
@@ -197,14 +231,14 @@ func TestExecuteRoundWithoutPlan(t *testing.T) {
 // TestExecuteRoundDeadlineBetweenTrees is the budget fix: when the deadline
 // passes while a round's earlier tree runs, the loop stops between trees with
 // engine.ErrBudget and the completed trees' accounting preserved — it does
-// not start the next tree. Seed 11 materializes two trees (Σ(S) then the
-// final join) in one round; a clock pushed past the deadline after PlanRound
+// not start the next tree. Seed 19 plans two trees (Σ(S) then the final
+// join) in its first round; a clock pushed past the deadline after PlanRound
 // must stop after the first.
 func TestExecuteRoundDeadlineBetweenTrees(t *testing.T) {
 	cat, q := fixture()
 	eng := engine.New(cat)
 	budget := &engine.Budget{Deadline: time.Now().Add(time.Hour)}
-	s := NewSession(q, eng, budget, Config{Seed: 11, Iterations: 300})
+	s := NewSession(q, eng, budget, Config{Seed: 19, Iterations: 300})
 	defer s.Close()
 	execute, err := s.PlanRound()
 	if err != nil || !execute {

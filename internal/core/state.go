@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strings"
 
+	"monsoon/internal/mcts"
 	"monsoon/internal/plan"
 	"monsoon/internal/query"
 	"monsoon/internal/stats"
@@ -125,6 +126,13 @@ func cloneIndex(m map[string]int) map[string]int {
 	}
 	return c
 }
+
+// CloneForSearch implements mcts.Cloner: each root-parallel search shard
+// plans from its own copy of the root state. The structure (and the index
+// maps the rollout-hot lookups use) is copied; the statistics store is
+// shared read-only — simulated EXECUTE transitions clone it before
+// hardening, exactly as in serial search.
+func (s *State) CloneForSearch() mcts.State { return s.clone(false) }
 
 // findPlanned locates a planned tree by its root key; -1 when absent.
 func (s *State) findPlanned(key string) int {

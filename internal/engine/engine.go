@@ -357,34 +357,32 @@ func (e *Engine) hashJoin(left, right *table.Relation, buildTerm, probeTerm *que
 		return nil, fmt.Errorf("engine: term %s not bindable on probe side", pTerm)
 	}
 	bsp := e.Obs.Start(obs.KHashBuild, name)
+	var ht hashTable
 	inserted := 0
-	ht := make(hashTable, buildRel.Count())
-	for i, row := range buildRel.Rows {
-		// Building over a huge materialized input produces nothing but must
-		// still honor the deadline.
-		if err := budget.Charge(0); err != nil {
+	if w := e.workers(buildRel.Count()); w > 1 {
+		bsp.SetNum("workers", float64(w))
+		var err error
+		ht, inserted, err = parallelBuild(buildRel, bTerm, budget, w)
+		if err != nil {
 			bsp.SetRows(buildRel.Count(), inserted).SetStr("err", err.Error()).End()
 			return nil, err
 		}
-		k := bb.Eval(row)
-		if k.IsNull() {
-			continue
-		}
-		inserted++
-		h := k.Hash()
-		bs := ht[h]
-		found := false
-		for bi := range bs {
-			if bs[bi].key.Equal(k) {
-				bs[bi].rows = append(bs[bi].rows, i)
-				found = true
-				break
+	} else {
+		ht = make(hashTable, buildRel.Count())
+		for i, row := range buildRel.Rows {
+			// Building over a huge materialized input produces nothing but
+			// must still honor the deadline.
+			if err := budget.Charge(0); err != nil {
+				bsp.SetRows(buildRel.Count(), inserted).SetStr("err", err.Error()).End()
+				return nil, err
 			}
+			k := bb.Eval(row)
+			if k.IsNull() {
+				continue
+			}
+			inserted++
+			ht.insert(k, i)
 		}
-		if !found {
-			bs = append(bs, bucket{key: k, rows: []int{i}})
-		}
-		ht[h] = bs
 	}
 	bsp.SetRows(buildRel.Count(), inserted).SetNum("residuals", float64(len(residuals))).End()
 	psp := e.Obs.Start(obs.KHashProbe, name)
@@ -451,6 +449,23 @@ type bucket struct {
 
 type hashTable map[uint64][]bucket
 
+// insert chains build-row index i under key k: the key's bucket if one
+// exists in the hash's collision chain, a fresh bucket appended otherwise.
+// Inserting rows in ascending index order yields chains in first-occurrence
+// order with ascending row lists — the invariant the partitioned parallel
+// build reproduces by merging per-worker sub-tables in worker order.
+func (ht hashTable) insert(k value.Value, i int) {
+	h := k.Hash()
+	bs := ht[h]
+	for bi := range bs {
+		if bs[bi].key.Equal(k) {
+			bs[bi].rows = append(bs[bi].rows, i)
+			return
+		}
+	}
+	ht[h] = append(bs, bucket{key: k, rows: []int{i}})
+}
+
 // nestedLoop computes the filtered product; it is the only strategy when no
 // predicate separates the children (pure cross products and crossing
 // multi-table UDF terms). Its span reports rows-in as the number of row
@@ -459,6 +474,24 @@ type hashTable map[uint64][]bucket
 func (e *Engine) nestedLoop(left, right *table.Relation, residuals []residual,
 	outSchema *table.Schema, name string, budget *Budget) (*table.Relation, error) {
 	sp := e.Obs.Start(obs.KNestedLoop, name).SetNum("residuals", float64(len(residuals)))
+	// Parallelism is sized to the pairs scanned (the operator's real work)
+	// but partitions the outer rows, so the worker count is also capped by
+	// the outer cardinality.
+	if w := e.workers(left.Count() * right.Count()); w > 1 {
+		if w > left.Count() {
+			w = left.Count()
+		}
+		if w > 1 {
+			sp.SetNum("workers", float64(w))
+			out, pairs, err := parallelNestedLoop(left, right, residuals, outSchema, budget, w)
+			if err != nil {
+				sp.SetRows(pairs, len(out)).SetStr("err", err.Error()).End()
+				return nil, err
+			}
+			sp.SetRows(pairs, len(out)).SetProduced(float64(len(out))).End()
+			return table.NewRelation(name, outSchema, out), nil
+		}
+	}
 	var out []table.Row
 	pairs := 0
 	scratch := make(table.Row, len(outSchema.Cols))

@@ -1,10 +1,12 @@
 // Parallel execution paths for the engine's partitionable operators: filter
-// scans, the probe side of hash joins, and the Σ statistics pass. All three
-// follow the same recipe — split the input into contiguous chunks, give every
-// worker its own bindings, scratch row, and output buffer, and stitch the
-// buffers back together in input order — so a parallel run is bit-identical
-// to the serial one: same row order, same Σ sketch estimates (HLL register
-// merge is order-independent), same budget totals. Only wall time changes.
+// scans, both sides of hash joins (partitioned build, partitioned probe),
+// the nested-loop/cross-product fallback, and the Σ statistics pass. All
+// follow the same recipe — split the input into contiguous chunks, give
+// every worker its own bindings, scratch row, and output buffer, and stitch
+// (or merge) the buffers back together in input order — so a parallel run is
+// bit-identical to the serial one: same row order, same hash-table chain
+// order, same Σ sketch estimates (HLL register merge is order-independent),
+// same budget totals. Only wall time changes.
 package engine
 
 import (
@@ -214,6 +216,112 @@ func parallelProbe(buildRel, probeRel *table.Relation, ht hashTable, pTerm *quer
 		return nil
 	})
 	return stitch(bufs), err
+}
+
+// parallelBuild is the partitioned hash-join build: each worker hashes a
+// contiguous chunk of the build side (global row indices) into a private
+// sub-table, and the sub-tables are merged bucket-wise in worker order.
+// Because chunks are contiguous and ascending, worker-order merging restores
+// both serial invariants exactly — collision chains in global
+// first-occurrence order, per-bucket row lists ascending — so the merged
+// table is identical to the one the serial loop builds. Returns the table
+// and the number of non-NULL keys inserted.
+func parallelBuild(buildRel *table.Relation, bTerm *query.Term, budget *Budget, w int) (hashTable, int, error) {
+	subs := make([]hashTable, w)
+	ins := make([]int, w)
+	err := runWorkers(buildRel.Count(), w, func(worker, lo, hi int) error {
+		bb, _ := bTerm.Fn.Bind(buildRel.Schema)
+		ht := make(hashTable, hi-lo)
+		for j, row := range buildRel.Rows[lo:hi] {
+			// Building produces nothing but must still honor the deadline.
+			if err := budget.Charge(0); err != nil {
+				subs[worker] = ht
+				return err
+			}
+			k := bb.Eval(row)
+			if k.IsNull() {
+				continue
+			}
+			ins[worker]++
+			ht.insert(k, lo+j)
+		}
+		subs[worker] = ht
+		return nil
+	})
+	inserted := 0
+	for _, n := range ins {
+		inserted += n
+	}
+	if err != nil {
+		return nil, inserted, err
+	}
+	merged := subs[0]
+	for wi := 1; wi < w; wi++ {
+		for h, chain := range subs[wi] {
+			dst := merged[h]
+			for _, b := range chain {
+				found := false
+				for di := range dst {
+					if dst[di].key.Equal(b.key) {
+						dst[di].rows = append(dst[di].rows, b.rows...)
+						found = true
+						break
+					}
+				}
+				if !found {
+					dst = append(dst, b)
+				}
+			}
+			merged[h] = dst
+		}
+	}
+	return merged, inserted, nil
+}
+
+// parallelNestedLoop fans the filtered-product scan out over contiguous
+// chunks of the outer (left) rows: per-worker residual bindings, scratch row,
+// and output buffer, stitched back in outer order — exactly the serial loop's
+// lrow-major output order. Returns the joined rows and the number of row
+// pairs scanned.
+func parallelNestedLoop(left, right *table.Relation, residuals []residual,
+	outSchema *table.Schema, budget *Budget, w int) ([]table.Row, int, error) {
+	bufs := make([][]table.Row, w)
+	pairsBy := make([]int, w)
+	err := runWorkers(left.Count(), w, func(worker, lo, hi int) error {
+		res := rebindResiduals(residuals, outSchema)
+		scratch := make(table.Row, len(outSchema.Cols))
+		var out []table.Row
+		for _, lrow := range left.Rows[lo:hi] {
+			copy(scratch, lrow)
+			for _, rrow := range right.Rows {
+				pairsBy[worker]++
+				copy(scratch[len(lrow):], rrow)
+				if !passResiduals(scratch, res) {
+					// Even rejected pairs consume work; poll the deadline
+					// with a zero charge, as the serial loop does.
+					if err := budget.Charge(0); err != nil {
+						bufs[worker] = out
+						return err
+					}
+					continue
+				}
+				joined := make(table.Row, len(scratch))
+				copy(joined, scratch)
+				out = append(out, joined)
+				if err := budget.Charge(1); err != nil {
+					bufs[worker] = out
+					return err
+				}
+			}
+		}
+		bufs[worker] = out
+		return nil
+	})
+	pairs := 0
+	for _, p := range pairsBy {
+		pairs += p
+	}
+	return stitch(bufs), pairs, err
 }
 
 // sigmaSketches holds one worker's (or the merged) HLL per tracked term, in

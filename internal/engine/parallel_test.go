@@ -4,6 +4,7 @@ import (
 	"errors"
 	"reflect"
 	"testing"
+	"time"
 
 	"monsoon/internal/expr"
 	"monsoon/internal/obs"
@@ -88,8 +89,9 @@ func TestSerialParallelIdentical(t *testing.T) {
 }
 
 // TestParallelSpansCarryWorkers pins the span-stream contract of the parallel
-// path: scan, hash-probe, and Σ spans report the worker count, rows in/out
-// identical to the serial run, and the span sequence itself is unchanged.
+// path: scan, hash-build, hash-probe, nested-loop, and Σ spans report the
+// worker count, rows in/out identical to the serial run, and the span
+// sequence itself is unchanged.
 func TestParallelSpansCarryWorkers(t *testing.T) {
 	cat := bigFixture()
 	q := bigQuery()
@@ -122,7 +124,7 @@ func TestParallelSpansCarryWorkers(t *testing.T) {
 				t.Errorf("span %d (%s): workers attribute %v, want >= 2", i, psp.Kind, w)
 			}
 			switch psp.Kind {
-			case obs.KScan, obs.KHashProbe, obs.KSigma:
+			case obs.KScan, obs.KHashBuild, obs.KHashProbe, obs.KNestedLoop, obs.KSigma:
 			default:
 				t.Errorf("span %d: workers attribute on unexpected kind %s", i, psp.Kind)
 			}
@@ -219,5 +221,192 @@ func TestNestedLoopSpanReportsPairs(t *testing.T) {
 	}
 	if nls[0].RowsIn != 1000*20 {
 		t.Errorf("nested-loop rows-in = %d, want %d pairs scanned", nls[0].RowsIn, 1000*20)
+	}
+}
+
+// buildFixture returns a relation with interleaved NULL keys and the join
+// term that binds its key column, for driving parallelBuild directly.
+func buildFixture(rows int) (*table.Relation, *query.Term) {
+	ns := table.NewSchema(table.Column{Table: "N", Name: "x", Kind: value.KindInt})
+	nb := table.NewBuilder("N", ns)
+	for i := 0; i < rows; i++ {
+		if i%5 == 3 {
+			nb.Add(value.Null())
+		} else {
+			nb.Add(value.Int(int64(i % 97)))
+		}
+	}
+	ms := table.NewSchema(table.Column{Table: "M", Name: "y", Kind: value.KindInt})
+	mb := table.NewBuilder("M", ms)
+	mb.Add(value.Int(0))
+	cat := table.NewCatalog()
+	cat.Put(nb.Build())
+	cat.Put(mb.Build())
+	q := query.NewBuilder("n").
+		Rel("N", "N").Rel("M", "M").
+		Join(expr.Identity("N.x"), expr.Identity("M.y")).
+		MustBuild()
+	return nb.Build(), q.Joins[0].L
+}
+
+// serialBuild replicates the engine's serial build loop, as the reference
+// the partitioned build must reproduce exactly.
+func serialBuild(rel *table.Relation, term *query.Term) (hashTable, int) {
+	bb, _ := term.Fn.Bind(rel.Schema)
+	ht := make(hashTable, rel.Count())
+	inserted := 0
+	for i, row := range rel.Rows {
+		k := bb.Eval(row)
+		if k.IsNull() {
+			continue
+		}
+		inserted++
+		ht.insert(k, i)
+	}
+	return ht, inserted
+}
+
+// TestParallelBuildIdenticalTable: the partitioned build merges to a table
+// deep-equal to the serial one — chain order, row order, NULL skipping — for
+// worker counts below, at, and far above the row count.
+func TestParallelBuildIdenticalTable(t *testing.T) {
+	for _, rows := range []int{5000, 17} {
+		rel, term := buildFixture(rows)
+		want, wantIns := serialBuild(rel, term)
+		for _, w := range []int{1, 2, 7, 64} {
+			ht, ins, err := parallelBuild(rel, term, &Budget{}, w)
+			if err != nil {
+				t.Fatalf("rows=%d w=%d: %v", rows, w, err)
+			}
+			if ins != wantIns {
+				t.Errorf("rows=%d w=%d: inserted %d, want %d", rows, w, ins, wantIns)
+			}
+			if !reflect.DeepEqual(ht, want) {
+				t.Errorf("rows=%d w=%d: merged table differs from serial build", rows, w)
+			}
+		}
+	}
+}
+
+// TestParallelBuildEmptySide: an empty build side merges to an empty table
+// with zero insertions for any worker count.
+func TestParallelBuildEmptySide(t *testing.T) {
+	rel, term := buildFixture(0)
+	for _, w := range []int{1, 2, 7, 64} {
+		ht, ins, err := parallelBuild(rel, term, &Budget{}, w)
+		if err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+		if ins != 0 || len(ht) != 0 {
+			t.Errorf("w=%d: inserted %d, table size %d, want empty", w, ins, len(ht))
+		}
+	}
+}
+
+// TestParallelBuildBudgetAbort: a tripped budget surfaces ErrBudget from the
+// partitioned build just as the serial loop does.
+func TestParallelBuildBudgetAbort(t *testing.T) {
+	rel, term := buildFixture(5000)
+	b := &Budget{}
+	b.Deadline = time.Now().Add(-time.Second)
+	if _, _, err := parallelBuild(rel, term, b, 4); !errors.Is(err, ErrBudget) {
+		t.Errorf("err = %v, want ErrBudget", err)
+	}
+}
+
+// crossFixture builds a pairs-heavy catalog with no separating predicate:
+// CL × CR must run as a nested loop over enough pairs to engage the fan-out.
+func crossFixture(leftRows, rightRows int) *table.Catalog {
+	cat := table.NewCatalog()
+	ls := table.NewSchema(table.Column{Table: "CL", Name: "a", Kind: value.KindInt})
+	lb := table.NewBuilder("CL", ls)
+	for i := 0; i < leftRows; i++ {
+		lb.Add(value.Int(int64(i)))
+	}
+	cat.Put(lb.Build())
+	rs := table.NewSchema(table.Column{Table: "CR", Name: "b", Kind: value.KindInt})
+	rb := table.NewBuilder("CR", rs)
+	for i := 0; i < rightRows; i++ {
+		rb.Add(value.Int(int64(i)))
+	}
+	cat.Put(rb.Build())
+	return cat
+}
+
+// TestNestedLoopSerialParallelIdentical: the fanned-out pairs scan matches
+// the serial nested loop bit for bit — row order, pair count in the span,
+// budget totals — with a crossing residual term and as a pure cross product.
+func TestNestedLoopSerialParallelIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		q    *query.Query
+	}{
+		{"residual", query.NewBuilder("resid").
+			Rel("CL", "CL").Rel("CR", "CR").
+			Select(expr.SumMod("CL.a", "CR.b", 13), value.Int(4)).
+			MustBuild()},
+		{"pure-cross", query.NewBuilder("cross").
+			Rel("CL", "CL").Rel("CR", "CR").
+			MustBuild()},
+	}
+	cat := crossFixture(300, 40)
+	tree := plan.NewJoin(leaf("CL"), leaf("CR"))
+	for _, tc := range cases {
+		run := func(par int) (*table.Relation, float64, *obs.Span) {
+			col := &obs.Collector{}
+			e := New(cat)
+			e.Parallelism = par
+			e.Obs = obs.NewTracer(col)
+			b := &Budget{}
+			rel, _, err := e.ExecTree(tc.q, tree, b)
+			if err != nil {
+				t.Fatalf("%s parallelism %d: %v", tc.name, par, err)
+			}
+			nls := col.SpansOf(obs.KNestedLoop)
+			if len(nls) != 1 {
+				t.Fatalf("%s parallelism %d: %d nested-loop spans", tc.name, par, len(nls))
+			}
+			return rel, b.Produced(), nls[0]
+		}
+		srel, sprod, ssp := run(1)
+		for _, par := range []int{0, 2, 7, 64} {
+			prel, pprod, psp := run(par)
+			if !reflect.DeepEqual(prel.Rows, srel.Rows) {
+				t.Errorf("%s parallelism %d: rows differ from serial", tc.name, par)
+			}
+			if pprod != sprod {
+				t.Errorf("%s parallelism %d: produced %v, serial %v", tc.name, par, pprod, sprod)
+			}
+			if psp.RowsIn != ssp.RowsIn || psp.RowsOut != ssp.RowsOut {
+				t.Errorf("%s parallelism %d: span %d/%d, serial %d/%d",
+					tc.name, par, psp.RowsIn, psp.RowsOut, ssp.RowsIn, ssp.RowsOut)
+			}
+		}
+	}
+}
+
+// TestNestedLoopTinyInputs: worker counts far above the outer cardinality
+// degrade cleanly and stay bit-identical to serial.
+func TestNestedLoopTinyInputs(t *testing.T) {
+	cat := crossFixture(3, 2000)
+	q := query.NewBuilder("tiny").Rel("CL", "CL").Rel("CR", "CR").MustBuild()
+	tree := plan.NewJoin(leaf("CL"), leaf("CR"))
+	run := func(par int) *table.Relation {
+		e := New(cat)
+		e.Parallelism = par
+		rel, _, err := e.ExecTree(q, tree, &Budget{})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		return rel
+	}
+	ref := run(1)
+	if ref.Count() != 6000 {
+		t.Fatalf("cross product produced %d rows, want 6000", ref.Count())
+	}
+	for _, par := range []int{2, 7, 64} {
+		if got := run(par); !reflect.DeepEqual(got.Rows, ref.Rows) {
+			t.Errorf("parallelism %d: rows differ from serial", par)
+		}
 	}
 }

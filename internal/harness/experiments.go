@@ -42,6 +42,11 @@ type Scale struct {
 	// 0 = runtime.GOMAXPROCS(0), 1 = the exact serial path. Results are
 	// bit-identical at every setting; only wall times change.
 	Parallelism int
+	// PlanParallelism caps the OS threads Monsoon's root-parallel MCTS
+	// planner runs its search shards on: 0 = runtime.GOMAXPROCS(0), 1 =
+	// serial planning. The shard decomposition is fixed by the planner
+	// config, so plans are bit-identical at every setting.
+	PlanParallelism int
 	// PlanCache, when set, shares one plan cache across every Monsoon run
 	// of the campaign: repeated (query shape, statistics) planning states
 	// replay memoized rounds instead of re-running MCTS. Plan choices are
@@ -104,7 +109,8 @@ type Runner struct {
 
 func (r *Runner) monsoon() Monsoon {
 	return Monsoon{Iterations: r.Scale.MCTSIterations, Metrics: r.Metrics, Sink: r.Sink,
-		Parallelism: r.Scale.Parallelism, Cache: r.planCache()}
+		Parallelism: r.Scale.Parallelism, PlanParallelism: r.Scale.PlanParallelism,
+		Cache: r.planCache()}
 }
 
 // planCache lazily creates the campaign-shared cache when the scale enables
@@ -221,7 +227,8 @@ func (r *Runner) Table2(w io.Writer) error {
 			specs[i] = QuerySpec{Q: q, Cat: cat}
 		}
 		for _, p := range prior.All() {
-			opt := Monsoon{Prior: p, Iterations: sc.MCTSIterations, Parallelism: sc.Parallelism}
+			opt := Monsoon{Prior: p, Iterations: sc.MCTSIterations,
+				Parallelism: sc.Parallelism, PlanParallelism: sc.PlanParallelism}
 			br, err := RunBenchmark(specs, []Option{opt}, sc.Timeout, sc.MaxTuples, sc.Seed, nil)
 			if err != nil {
 				return err

@@ -303,6 +303,10 @@ type Monsoon struct {
 	Metrics *obs.Registry
 	// Parallelism caps the engine worker count (0 = GOMAXPROCS, 1 = serial).
 	Parallelism int
+	// PlanParallelism caps the OS threads the root-parallel MCTS planner
+	// runs its search shards on (0 = GOMAXPROCS, 1 = serial planning).
+	// Plans are bit-identical at every setting.
+	PlanParallelism int
 	// Cache, when non-nil, memoizes planned rounds across the runs sharing
 	// it: repeated (query shape, statistics) states replay the memoized
 	// action sequence instead of re-running MCTS.
@@ -324,14 +328,15 @@ func (m Monsoon) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, s
 	eng := newEngine(spec.Cat, m.Parallelism)
 	qs := &qerrSink{}
 	res, err := core.Run(spec.Q, eng, b, core.Config{
-		Prior:       m.Prior,
-		Strategy:    m.Strategy,
-		Iterations:  m.Iterations,
-		Seed:        seed,
-		Sink:        obs.Multi(m.Sink, qs),
-		Metrics:     m.Metrics,
-		Parallelism: m.Parallelism,
-		Cache:       m.Cache,
+		Prior:           m.Prior,
+		Strategy:        m.Strategy,
+		Iterations:      m.Iterations,
+		Seed:            seed,
+		Sink:            obs.Multi(m.Sink, qs),
+		Metrics:         m.Metrics,
+		Parallelism:     m.Parallelism,
+		PlanParallelism: m.PlanParallelism,
+		Cache:           m.Cache,
 	})
 	out := Outcome{
 		Rows: res.Rows, Value: res.Value,

@@ -1,0 +1,132 @@
+package harness
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"monsoon/internal/bench/tpch"
+	"monsoon/internal/obs"
+)
+
+// updateSpans rewrites the span-count baseline from the current run instead
+// of diffing against it:
+//
+//	go test ./internal/harness -run SpanCountBaseline -update-spans
+var updateSpans = flag.Bool("update-spans", false,
+	"rewrite testdata/span_counts_small.jsonl from the current run")
+
+const spanBaselineFile = "testdata/span_counts_small.jsonl"
+
+// spanCountRecord is one line of the JSONL baseline: how many spans of one
+// operator kind the reference workload emits.
+type spanCountRecord struct {
+	Kind  string `json:"kind"`
+	Count int    `json:"count"`
+}
+
+// spanCountWorkload runs the Monsoon leg of the small campaign's TPC-H suite
+// (the workload recorded in campaign_small.txt) with a span collector
+// attached and tallies spans per operator kind. The run is host-independent
+// by construction: no wall-clock deadline (a slow machine must not change
+// how far a query gets), the campaign's tuple budget, and the campaign seed,
+// so the span stream — and with it every count — is deterministic.
+func spanCountWorkload(t *testing.T) map[string]int {
+	t.Helper()
+	sc := Small()
+	cat := tpch.Generate(tpch.Config{ScaleFactor: sc.TPCHSF, Seed: sc.Seed})
+	counts := make(map[string]int)
+	for _, q := range tpch.Queries() {
+		col := &obs.Collector{}
+		opt := Monsoon{Iterations: sc.MCTSIterations, Sink: col}
+		out := opt.Run(QuerySpec{Q: q, Cat: cat}, 0, sc.MaxTuples, sc.Seed)
+		if out.Err != nil {
+			t.Fatalf("%s: %v", q.Name, out.Err)
+		}
+		if out.TimedOut {
+			t.Fatalf("%s: tuple budget tripped; the baseline workload must complete", q.Name)
+		}
+		for _, sp := range col.Spans {
+			counts[sp.Kind]++
+		}
+	}
+	return counts
+}
+
+// TestSpanCountBaseline is the trace-regression corpus gate (ROADMAP): the
+// reference workload's span counts per operator kind are pinned in
+// testdata/span_counts_small.jsonl, and any drift — an operator silently
+// planned differently, an instrumentation site dropped, an extra EXECUTE
+// round — fails with a per-kind diff. Re-pin consciously with -update-spans
+// after verifying the plan change is intended.
+func TestSpanCountBaseline(t *testing.T) {
+	counts := spanCountWorkload(t)
+
+	if *updateSpans {
+		recs := make([]spanCountRecord, 0, len(counts))
+		for k, n := range counts {
+			recs = append(recs, spanCountRecord{Kind: k, Count: n})
+		}
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Kind < recs[j].Kind })
+		if err := os.MkdirAll(filepath.Dir(spanBaselineFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.Create(spanBaselineFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		for _, r := range recs {
+			if err := enc.Encode(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Logf("rewrote %s (%d kinds)", spanBaselineFile, len(recs))
+		return
+	}
+
+	f, err := os.Open(spanBaselineFile)
+	if err != nil {
+		t.Fatalf("no baseline (%v); record one with -update-spans", err)
+	}
+	defer f.Close()
+	want := make(map[string]int)
+	scan := bufio.NewScanner(f)
+	for scan.Scan() {
+		var r spanCountRecord
+		if err := json.Unmarshal(scan.Bytes(), &r); err != nil {
+			t.Fatalf("corrupt baseline line %q: %v", scan.Text(), err)
+		}
+		want[r.Kind] = r.Count
+	}
+	if err := scan.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	kinds := make(map[string]bool, len(counts)+len(want))
+	for k := range counts {
+		kinds[k] = true
+	}
+	for k := range want {
+		kinds[k] = true
+	}
+	var drift []string
+	for k := range kinds {
+		if counts[k] != want[k] {
+			drift = append(drift, fmt.Sprintf("%s: got %d spans, baseline %d", k, counts[k], want[k]))
+		}
+	}
+	sort.Strings(drift)
+	for _, d := range drift {
+		t.Error(d)
+	}
+	if len(drift) > 0 {
+		t.Log("plan or instrumentation drift; if intended, re-pin with -update-spans")
+	}
+}

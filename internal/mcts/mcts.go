@@ -98,6 +98,10 @@ type PlanStats struct {
 	Nodes int
 	// FastPath marks a call decided without search (≤ 1 legal action).
 	FastPath bool
+	// Workers is the number of OS threads the search actually ran on: 1 for
+	// the serial planner and for root-parallel searches forced serial (one
+	// shard, unforkable model); plans are identical for every value.
+	Workers int
 	// Line is the principal variation the search settled on: the action key
 	// MCTS picks at the root followed by the best-average action at each
 	// successive decision node (descending through the most-visited outcome
@@ -152,7 +156,7 @@ func (p *Planner) newNode(m Model, s State) *node {
 // Plan runs the configured number of iterations from root and returns the
 // action with the best average return, or nil if root is terminal/stuck.
 func (p *Planner) Plan(m Model, root State) Action {
-	p.last = PlanStats{}
+	p.last = PlanStats{Workers: 1}
 	rootNode := p.newNode(m, root)
 	p.last.RootActions = len(rootNode.actions)
 	if len(rootNode.actions) == 0 {
@@ -164,11 +168,7 @@ func (p *Planner) Plan(m Model, root State) Action {
 		p.last.Line = []string{rootNode.actions[0].Key()}
 		return rootNode.actions[0]
 	}
-	p.minRet, p.maxRet, p.haveRet = 0, 0, false
-	for i := 0; i < p.cfg.Iterations; i++ {
-		p.simulate(m, rootNode, 0, i)
-		p.last.Rollouts++
-	}
+	p.search(m, rootNode)
 	p.last.Line = principalVariation(rootNode, p.cfg.MaxDepth)
 	best := bestVisited(rootNode)
 	if best < 0 {
@@ -176,6 +176,17 @@ func (p *Planner) Plan(m Model, root State) Action {
 		return rootNode.actions[0]
 	}
 	return rootNode.actions[best]
+}
+
+// search runs the configured iteration budget from rootNode. Factored out of
+// Plan so the root-parallel planner can run one shard's quota against a
+// shard-private tree with exactly the serial pass structure.
+func (p *Planner) search(m Model, rootNode *node) {
+	p.minRet, p.maxRet, p.haveRet = 0, 0, false
+	for i := 0; i < p.cfg.Iterations; i++ {
+		p.simulate(m, rootNode, 0, i)
+		p.last.Rollouts++
+	}
 }
 
 // bestVisited returns the index of the visited edge with the best average

@@ -1,0 +1,249 @@
+// Root-parallel MCTS (§5.1 under a wall-clock budget): the rollout budget is
+// pre-partitioned over a fixed set of logical workers ("shards"). Every shard
+// gets a pre-assigned quota and its own RNG seeded from the planner seed and
+// the shard index, searches an independent tree from its own clone of the
+// root, and the shard trees are merged in shard-index order — visits and
+// totals summed per root action, chance children unioned by outcome key,
+// recursively. Because the decomposition (shard count, quotas, seeds) is a
+// function of the configuration only — never of the Workers thread cap — the
+// merged visit counts, values, and principal variation are bit-identical for
+// any Workers setting, including fully serial execution. Parallelism trades
+// wall time, nothing else.
+package mcts
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"monsoon/internal/randx"
+)
+
+// Forker is implemented by models whose simulator holds private randomness.
+// Fork returns an independent simulator seeded from seed, safe to drive from
+// another goroutine. Root-parallel search forks one model per shard; a model
+// that does not implement Forker is shared by every shard and the shards are
+// run serially (Workers degrades to 1) so the model is never used
+// concurrently — results are still shard-decomposed and merge-identical.
+type Forker interface {
+	Fork(seed int64) Model
+}
+
+// Cloner is implemented by states that want each search shard to work from
+// its own copy of the root (states carrying lookup caches or other shared
+// scratch). Optional: states without it are shared read-only across shards.
+type Cloner interface {
+	CloneForSearch() State
+}
+
+const (
+	// DefaultShards caps the derived logical worker count.
+	DefaultShards = 8
+	// minShardQuota is the smallest rollout quota worth an independent tree:
+	// below ~75 rollouts a shard's ε/UCT schedule barely leaves expansion, so
+	// the derived shard count shrinks with the iteration budget rather than
+	// splintering small searches. (Measured on the core R/S/T trap fixture,
+	// the 8×75 ensemble at an 600-iteration budget avoids the trap at least
+	// as often as one 600-iteration stream — independent shards don't all
+	// fall for the same sampled world — so the split costs no plan quality.)
+	minShardQuota = 75
+)
+
+// RootConfig parameterizes a RootPlanner.
+type RootConfig struct {
+	Config
+	// Shards fixes the logical worker count — the unit of determinism. 0
+	// derives it from the budget: max(1, min(DefaultShards, Iterations/minShardQuota)).
+	Shards int
+	// Workers caps the OS threads executing shards: 0 means
+	// runtime.GOMAXPROCS(0), 1 forces serial execution. Plans are
+	// bit-identical for every value.
+	Workers int
+}
+
+// RootPlanner runs root-parallel MCTS. Like Planner it is not safe for
+// concurrent use; the parallelism is internal.
+type RootPlanner struct {
+	cfg  RootConfig
+	seed int64
+	// calls numbers the Plan invocations so every (call, shard) pair draws
+	// from its own derived RNG stream, mirroring how a serial planner's
+	// single stream advances across calls.
+	calls int
+	last  PlanStats
+}
+
+// NewRoot creates a root-parallel planner. seed is the planner's base
+// randomness; per-shard streams are derived from it, the call number, and the
+// shard index, so equal (config, seed) planners replay identically.
+func NewRoot(cfg RootConfig, seed int64) *RootPlanner {
+	cfg.Config = cfg.Config.withDefaults()
+	if cfg.Shards <= 0 {
+		s := cfg.Iterations / minShardQuota
+		if s < 1 {
+			s = 1
+		}
+		if s > DefaultShards {
+			s = DefaultShards
+		}
+		cfg.Shards = s
+	}
+	return &RootPlanner{cfg: cfg, seed: seed}
+}
+
+// LastStats reports the statistics of the most recent Plan call, aggregated
+// across shards (rollouts and nodes sum, depth is the max).
+func (p *RootPlanner) LastStats() PlanStats { return p.last }
+
+// shardQuotas splits the iteration budget into shard quotas differing by at
+// most one rollout, remainder to the lowest-numbered shards.
+func shardQuotas(iters, shards int) []int {
+	q := make([]int, shards)
+	base, rem := iters/shards, iters%shards
+	for i := range q {
+		q[i] = base
+		if i < rem {
+			q[i]++
+		}
+	}
+	return q
+}
+
+// shardSeed derives the seed of one shard's named stream for one Plan call.
+func shardSeed(base int64, call, shard int, stream string) int64 {
+	return randx.Derive(base, fmt.Sprintf("call%d/shard%d/%s", call, shard, stream))
+}
+
+// Plan runs every shard's quota (concurrently up to the Workers cap), merges
+// the shard trees in shard-index order, and returns the action with the best
+// average return over the merged tree, or nil if root is terminal/stuck.
+func (p *RootPlanner) Plan(m Model, root State) Action {
+	p.calls++
+	p.last = PlanStats{Workers: 1}
+	// Root fast paths mirror the serial planner exactly: no search, no RNG
+	// draws, one (root) node on the books.
+	var actions []Action
+	if !root.Terminal() {
+		actions = m.Legal(root)
+	}
+	p.last.RootActions = len(actions)
+	if len(actions) == 0 {
+		p.last.FastPath = true
+		p.last.Nodes = 1
+		return nil
+	}
+	if len(actions) == 1 {
+		p.last.FastPath = true
+		p.last.Nodes = 1
+		p.last.Line = []string{actions[0].Key()}
+		return actions[0]
+	}
+
+	quotas := shardQuotas(p.cfg.Iterations, p.cfg.Shards)
+	forker, forkable := m.(Forker)
+	workers := p.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(quotas) {
+		workers = len(quotas)
+	}
+	if !forkable {
+		workers = 1 // shared simulator: never drive it from two goroutines
+	}
+
+	roots := make([]*node, len(quotas))
+	stats := make([]PlanStats, len(quotas))
+	runShard := func(i int) {
+		sm := m
+		if forkable {
+			sm = forker.Fork(shardSeed(p.seed, p.calls, i, "model"))
+		}
+		sr := root
+		if c, ok := root.(Cloner); ok {
+			sr = c.CloneForSearch()
+		}
+		cfg := p.cfg.Config
+		cfg.Iterations = quotas[i]
+		sp := New(cfg, randx.New(shardSeed(p.seed, p.calls, i, "rng")))
+		rootNode := sp.newNode(sm, sr)
+		if quotas[i] > 0 {
+			sp.search(sm, rootNode)
+		}
+		roots[i], stats[i] = rootNode, sp.last
+	}
+	if workers <= 1 {
+		workers = 1
+		for i := range quotas {
+			runShard(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for t := 0; t < workers; t++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(quotas) {
+						return
+					}
+					runShard(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	merged := roots[0]
+	p.last.Rollouts, p.last.Nodes, p.last.MaxDepth = stats[0].Rollouts, stats[0].Nodes, stats[0].MaxDepth
+	for i := 1; i < len(roots); i++ {
+		mergeNode(merged, roots[i])
+		p.last.Rollouts += stats[i].Rollouts
+		p.last.Nodes += stats[i].Nodes
+		if stats[i].MaxDepth > p.last.MaxDepth {
+			p.last.MaxDepth = stats[i].MaxDepth
+		}
+	}
+	p.last.Workers = workers
+	p.last.Line = principalVariation(merged, p.cfg.MaxDepth)
+	best := bestVisited(merged)
+	if best < 0 {
+		p.last.Line = []string{merged.actions[0].Key()}
+		return merged.actions[0]
+	}
+	return merged.actions[best]
+}
+
+// mergeNode folds src into dst: per-action edge visits and totals are summed
+// (actions align by index — Legal is deterministic per state) and chance
+// children are unioned by outcome key, recursively. Called in shard-index
+// order, so the float accumulation order — and with it every average and
+// tie-break — is fixed regardless of which OS thread ran which shard.
+func mergeNode(dst, src *node) {
+	dst.visits += src.visits
+	if len(src.edges) != len(dst.edges) {
+		return // defensive: nondeterministic Legal would desync indices
+	}
+	for i, se := range src.edges {
+		if se == nil {
+			continue
+		}
+		de := dst.edges[i]
+		if de == nil {
+			dst.edges[i] = se
+			continue
+		}
+		de.visits += se.visits
+		de.total += se.total
+		for key, sk := range se.kids {
+			if dk, ok := de.kids[key]; ok {
+				mergeNode(dk, sk)
+			} else {
+				de.kids[key] = sk
+			}
+		}
+	}
+}

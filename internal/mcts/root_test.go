@@ -1,0 +1,215 @@
+package mcts
+
+import (
+	"reflect"
+	"testing"
+
+	"monsoon/internal/randx"
+)
+
+// forkProbe makes the probe game forkable: each shard gets its own RNG.
+type forkProbe struct{ *probeGame }
+
+func (forkProbe) Fork(seed int64) Model { return forkProbe{&probeGame{rng: randx.New(seed)}} }
+
+// forkBandit makes the (stateless) bandit forkable.
+type forkBandit struct{ bandit }
+
+func (forkBandit) Fork(int64) Model { return forkBandit{} }
+
+// TestRootShardOneMatchesSerial is the golden test against the serial
+// planner: a one-shard root-parallel search must be bit-identical — same
+// action, same principal variation, same stats — to a serial Planner run
+// with the shard's derived RNG and forked model.
+func TestRootShardOneMatchesSerial(t *testing.T) {
+	const seed = 99
+	cfg := Config{Iterations: 600}
+
+	rp := NewRoot(RootConfig{Config: cfg, Shards: 1, Workers: 1}, seed)
+	ra := rp.Plan(forkProbe{&probeGame{rng: randx.New(0)}}, probeState{})
+	rs := rp.LastStats()
+
+	sm := forkProbe{}.Fork(shardSeed(seed, 1, 0, "model"))
+	sp := New(cfg, randx.New(shardSeed(seed, 1, 0, "rng")))
+	sa := sp.Plan(sm, probeState{})
+	ss := sp.LastStats()
+
+	if ra.Key() != sa.Key() {
+		t.Fatalf("root picked %q, serial %q", ra.Key(), sa.Key())
+	}
+	if !reflect.DeepEqual(rs, ss) {
+		t.Errorf("stats diverge:\nroot   %+v\nserial %+v", rs, ss)
+	}
+}
+
+// TestRootDeterministicForAnyWorkers pins the tentpole promise: with the
+// logical shard decomposition fixed, every Workers setting — serial, fewer
+// threads than shards, more threads than shards — produces the identical
+// action, principal variation, and search stats.
+func TestRootDeterministicForAnyWorkers(t *testing.T) {
+	run := func(workers int) (string, PlanStats) {
+		rp := NewRoot(RootConfig{
+			Config:  Config{Iterations: 2000},
+			Shards:  4,
+			Workers: workers,
+		}, 7)
+		a := rp.Plan(forkProbe{&probeGame{rng: randx.New(0)}}, probeState{})
+		return a.Key(), rp.LastStats()
+	}
+	refKey, refStats := run(1)
+	refStats.Workers = 0
+	for _, w := range []int{2, 7, 64} {
+		key, st := run(w)
+		st.Workers = 0
+		if key != refKey {
+			t.Errorf("workers=%d picked %q, serial run picked %q", w, key, refKey)
+		}
+		if !reflect.DeepEqual(st, refStats) {
+			t.Errorf("workers=%d stats diverge:\ngot  %+v\nwant %+v", w, st, refStats)
+		}
+	}
+}
+
+// TestRootRepeatedCallsDeterministic: successive Plan calls advance the
+// derived per-call streams, and two equally-configured planners replay the
+// whole call sequence identically at different worker counts.
+func TestRootRepeatedCallsDeterministic(t *testing.T) {
+	seq := func(workers int) []string {
+		rp := NewRoot(RootConfig{Config: Config{Iterations: 800}, Shards: 3, Workers: workers}, 13)
+		var keys []string
+		for i := 0; i < 4; i++ {
+			keys = append(keys, rp.Plan(forkProbe{&probeGame{rng: randx.New(0)}}, probeState{}).Key())
+		}
+		return keys
+	}
+	a, b := seq(1), seq(64)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("call sequences diverge: serial %v, 64 workers %v", a, b)
+	}
+}
+
+// TestRootZeroQuotaShards: an iteration budget smaller than the shard count
+// leaves some shards with zero rollouts; the search must still complete,
+// spend exactly the budget, and stay worker-count invariant.
+func TestRootZeroQuotaShards(t *testing.T) {
+	run := func(workers int) (string, PlanStats) {
+		rp := NewRoot(RootConfig{Config: Config{Iterations: 3}, Shards: 8, Workers: workers}, 5)
+		a := rp.Plan(forkProbe{&probeGame{rng: randx.New(0)}}, probeState{})
+		if a == nil {
+			t.Fatal("Plan returned nil on a non-terminal root")
+		}
+		return a.Key(), rp.LastStats()
+	}
+	key, st := run(1)
+	if st.Rollouts != 3 {
+		t.Errorf("rollouts = %d, want exactly the budget 3", st.Rollouts)
+	}
+	if st.Nodes < 8 {
+		t.Errorf("nodes = %d, want at least one root node per shard", st.Nodes)
+	}
+	for _, w := range []int{2, 7, 64} {
+		k, s := run(w)
+		s.Workers, st.Workers = 0, 0
+		if k != key || !reflect.DeepEqual(s, st) {
+			t.Errorf("workers=%d: (%q, %+v) != serial (%q, %+v)", w, k, s, key, st)
+		}
+	}
+}
+
+// TestRootFastPaths: terminal and single-action roots mirror the serial
+// planner's fast paths — no search, no RNG draws.
+func TestRootFastPaths(t *testing.T) {
+	rp := NewRoot(RootConfig{Workers: 8}, 1)
+	if a := rp.Plan(forkBandit{}, banditState{done: true}); a != nil {
+		t.Errorf("terminal root must plan nil, got %v", a)
+	}
+	if st := rp.LastStats(); !st.FastPath || st.Rollouts != 0 {
+		t.Errorf("terminal root stats = %+v, want fast path without rollouts", st)
+	}
+
+	g := &singleGame{}
+	a := rp.Plan(g, banditState{})
+	if a == nil || a.Key() != "0" {
+		t.Fatalf("single-action Plan = %v", a)
+	}
+	if g.steps != 0 {
+		t.Errorf("single-action root must not simulate, did %d steps", g.steps)
+	}
+	if l := rp.LastStats().Line; len(l) != 1 || l[0] != "0" {
+		t.Errorf("fast-path line = %v, want [\"0\"]", l)
+	}
+}
+
+// TestRootUnforkableModelRunsSerial: a model without Fork cannot be driven
+// from two goroutines; the planner must degrade to one worker (still shard-
+// decomposed, so results match any forked-and-parallel configuration of the
+// same model family) and still find the best arm.
+func TestRootUnforkableModelRunsSerial(t *testing.T) {
+	rp := NewRoot(RootConfig{Config: Config{Iterations: 400}, Workers: 8}, 1)
+	b := rp.Plan(bandit{}, banditState{})
+	if b.(banditAction) != 2 {
+		t.Errorf("picked arm %v, want 2", b)
+	}
+	if w := rp.LastStats().Workers; w != 1 {
+		t.Errorf("unforkable model ran on %d workers, want 1", w)
+	}
+}
+
+// TestRootBanditQuality: the merged tree still identifies the best arm for
+// both strategies, with the budget split across shards.
+func TestRootBanditQuality(t *testing.T) {
+	for _, strat := range []Strategy{UCT, EpsGreedy} {
+		rp := NewRoot(RootConfig{Config: Config{Strategy: strat, Iterations: 400}}, 1)
+		a := rp.Plan(forkBandit{}, banditState{})
+		if a.(banditAction) != 2 {
+			t.Errorf("strategy %d picked arm %v, want 2", strat, a)
+		}
+	}
+}
+
+// TestRootProbeQuality: value-of-information reasoning survives the shard
+// split — each shard independently discovers that probing dominates, and the
+// merged averages keep the ranking.
+func TestRootProbeQuality(t *testing.T) {
+	rp := NewRoot(RootConfig{Config: Config{Iterations: 4000}, Shards: 8, Workers: 4}, 42)
+	a := rp.Plan(forkProbe{&probeGame{rng: randx.New(0)}}, probeState{})
+	if a.Key() != "probe" {
+		t.Errorf("picked %q, want probe", a.Key())
+	}
+	if st := rp.LastStats(); st.Rollouts != 4000 {
+		t.Errorf("rollouts = %d, want the full 4000 budget", st.Rollouts)
+	}
+}
+
+// TestShardQuotas pins the budget split: sizes differ by at most one with
+// the remainder on the lowest-numbered shards, summing to the budget.
+func TestShardQuotas(t *testing.T) {
+	cases := []struct {
+		iters, shards int
+		want          []int
+	}{
+		{10, 3, []int{4, 3, 3}},
+		{8, 8, []int{1, 1, 1, 1, 1, 1, 1, 1}},
+		{3, 8, []int{1, 1, 1, 0, 0, 0, 0, 0}},
+		{7, 1, []int{7}},
+	}
+	for _, c := range cases {
+		if got := shardQuotas(c.iters, c.shards); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("shardQuotas(%d,%d) = %v, want %v", c.iters, c.shards, got, c.want)
+		}
+	}
+}
+
+// TestDerivedShardCount pins the adaptive decomposition: one shard per
+// minShardQuota rollouts, clamped to [1, DefaultShards].
+func TestDerivedShardCount(t *testing.T) {
+	cases := []struct{ iters, want int }{
+		{1, 1}, {74, 1}, {149, 1}, {150, 2}, {300, 4}, {600, 8}, {800, 8}, {100000, 8},
+	}
+	for _, c := range cases {
+		rp := NewRoot(RootConfig{Config: Config{Iterations: c.iters}}, 1)
+		if rp.cfg.Shards != c.want {
+			t.Errorf("iterations=%d derived %d shards, want %d", c.iters, rp.cfg.Shards, c.want)
+		}
+	}
+}

@@ -62,6 +62,13 @@ const (
 // attached to the run.
 const AttrCacheHit = "cache_hit"
 
+// AttrPlanWorkers is the numeric attribute set on KPlan spans when the
+// root-parallel MCTS search fanned out: the number of OS threads the shards
+// ran on. Absent on serial searches (mirroring the engine operators'
+// "workers" attribute), and irrelevant to the chosen plan — every worker
+// count picks byte-identical plans.
+const AttrPlanWorkers = "plan_workers"
+
 // Span is one timed region. IDs are unique within a Tracer; Parent is 0 for
 // the root. Rows and Produced carry the operator's data flow: rows consumed,
 // rows emitted, and objects charged against the engine.Budget (the §4.4
