@@ -3,13 +3,16 @@
 //
 // Usage:
 //
-//	monsoon-bench [-scale tiny|small|medium] [-exp all|table1|table2|...|figure3|plancache] [-seed N] [-parallelism N] [-plan-parallelism N] [-plan-cache] [-v] [-metrics] [-trace-json FILE] [-cpuprofile FILE] [-memprofile FILE]
+//	monsoon-bench [-scale tiny|small|medium] [-exp all|table1|table2|...|figure3|plancache] [-seed N] [-parallelism N] [-plan-parallelism N] [-plan-cache] [-v] [-metrics] [-obs-addr ADDR] [-obs-linger DUR] [-trace-json FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // Output goes to stdout; progress (with -v) and the -metrics dump to stderr.
 // With -trace-json, every Monsoon run of the campaign streams its structured
-// trace (spans, messages, estimate records) to FILE as JSON lines. The
-// -cpuprofile and -memprofile flags write pprof profiles of the campaign for
-// `go tool pprof`.
+// trace (spans, messages, estimate records) to FILE as JSON lines. With
+// -obs-addr, a telemetry server exposes the campaign's live metrics
+// (/debug/vars, /metrics) and recently completed query traces
+// (/traces/recent) while it runs; -obs-linger keeps it up after the last
+// experiment so CI can scrape it. The -cpuprofile and -memprofile flags write
+// pprof profiles of the campaign for `go tool pprof`.
 package main
 
 import (
@@ -19,19 +22,23 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"monsoon/internal/harness"
 	"monsoon/internal/obs"
+	"monsoon/internal/obs/obshttp"
 )
 
 func main() {
 	scaleName := flag.String("scale", "small", "campaign scale: tiny, small, or medium")
-	exp := flag.String("exp", "all", "experiment: all, table1..table8, figure1..figure3, ablation, estimates, plancache")
+	exp := flag.String("exp", "all", "experiment: all, table1..table8, figure1..figure3, ablation, estimates, plancache, tracecorpus")
 	seed := flag.Int64("seed", 1, "master seed")
 	par := flag.Int("parallelism", 0, "engine worker count: 0 = all cores, 1 = serial (results are identical either way)")
 	planPar := flag.Int("plan-parallelism", 0, "MCTS planner thread count: 0 = all cores, 1 = serial (plans are identical either way)")
 	verbose := flag.Bool("v", false, "print per-query progress to stderr")
 	metrics := flag.Bool("metrics", false, "dump the campaign's accumulated Monsoon metrics to stderr on exit")
+	obsAddr := flag.String("obs-addr", "", "serve live telemetry (/debug/vars, /metrics, /traces/recent) on this address, e.g. localhost:6060")
+	obsLinger := flag.Duration("obs-linger", 0, "keep the -obs-addr server up this long after the campaign finishes (for scraping in CI)")
 	traceJSON := flag.String("trace-json", "", "write the structured traces of the campaign's Monsoon runs as JSON lines to FILE")
 	planCache := flag.Bool("plan-cache", false, "share one plan cache across the campaign's Monsoon runs (hit rates in -metrics)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the campaign to FILE")
@@ -89,8 +96,10 @@ func main() {
 		progress = os.Stderr
 	}
 	r := &harness.Runner{Scale: sc, Progress: progress}
-	if *metrics {
+	if *metrics || *obsAddr != "" {
 		r.Metrics = obs.NewRegistry()
+	}
+	if *metrics {
 		defer func() {
 			fmt.Fprintln(os.Stderr, "metrics (Monsoon runs of this campaign):")
 			r.Metrics.Dump(os.Stderr)
@@ -105,31 +114,55 @@ func main() {
 		defer f.Close()
 		r.Sink = obs.NewJSONL(f)
 	}
+	if *obsAddr != "" {
+		ring := obs.NewTraceRing(0)
+		addr, err := obshttp.Serve(*obsAddr, r.Metrics, ring)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cannot serve telemetry: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry at http://%s\n", addr)
+		if r.Sink != nil {
+			r.Sink = obs.Multi(r.Sink, ring)
+		} else {
+			r.Sink = ring
+		}
+		if *obsLinger > 0 {
+			defer func() {
+				fmt.Fprintf(os.Stderr, "lingering %s for telemetry scrapes at http://%s\n", *obsLinger, addr)
+				time.Sleep(*obsLinger)
+			}()
+		}
+	}
 	w := os.Stdout
 
 	type step struct {
 		name string
 		run  func() error
+		// onlyExplicit keeps utility workloads (not paper artifacts) out of
+		// -exp all; they run only when named.
+		onlyExplicit bool
 	}
 	steps := []step{
-		{"table1", func() error { harness.Table1(w); return nil }},
-		{"figure1", func() error { return harness.Figure1(w, sc.Seed) }},
-		{"figure2", func() error { harness.Figure2(w); return nil }},
-		{"table2", func() error { return r.Table2(w) }},
-		{"table3", func() error { return r.Table3(w) }},
-		{"table4", func() error { return r.Table4(w) }},
-		{"table5", func() error { return r.Table5(w) }},
-		{"table6", func() error { return r.Table6(w) }},
-		{"table7", func() error { return r.Table7(w) }},
-		{"figure3", func() error { return r.Figure3(w) }},
-		{"table8", func() error { return r.Table8(w) }},
-		{"ablation", func() error { return r.Ablation(w) }},
-		{"estimates", func() error { return r.Estimates(w) }},
-		{"plancache", func() error { return r.PlanCacheStudy(w) }},
+		{name: "table1", run: func() error { harness.Table1(w); return nil }},
+		{name: "figure1", run: func() error { return harness.Figure1(w, sc.Seed) }},
+		{name: "figure2", run: func() error { harness.Figure2(w); return nil }},
+		{name: "table2", run: func() error { return r.Table2(w) }},
+		{name: "table3", run: func() error { return r.Table3(w) }},
+		{name: "table4", run: func() error { return r.Table4(w) }},
+		{name: "table5", run: func() error { return r.Table5(w) }},
+		{name: "table6", run: func() error { return r.Table6(w) }},
+		{name: "table7", run: func() error { return r.Table7(w) }},
+		{name: "figure3", run: func() error { return r.Figure3(w) }},
+		{name: "table8", run: func() error { return r.Table8(w) }},
+		{name: "ablation", run: func() error { return r.Ablation(w) }},
+		{name: "estimates", run: func() error { return r.Estimates(w) }},
+		{name: "plancache", run: func() error { return r.PlanCacheStudy(w) }},
+		{name: "tracecorpus", run: func() error { return r.TraceCorpus(w) }, onlyExplicit: true},
 	}
 	ran := false
 	for _, s := range steps {
-		if *exp != "all" && *exp != s.name {
+		if *exp != s.name && (*exp != "all" || s.onlyExplicit) {
 			continue
 		}
 		ran = true

@@ -26,6 +26,7 @@ import (
 	"monsoon/internal/engine"
 	"monsoon/internal/harness"
 	"monsoon/internal/obs"
+	"monsoon/internal/obs/obshttp"
 	"monsoon/internal/opt"
 	"monsoon/internal/plan"
 	"monsoon/internal/plancache"
@@ -47,6 +48,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "dump the run's metrics registry to stderr")
 	planCache := flag.Bool("plan-cache", false, "plan through a session-shared plan cache (monsoon only)")
 	repeat := flag.Int("repeat", 1, "run the query N times on fresh engines; with -plan-cache, later runs replay cached plans")
+	obsAddr := flag.String("obs-addr", "", "serve live telemetry (/debug/vars, /metrics, /traces/recent) on this address while the process runs")
 	flag.Parse()
 
 	var sc harness.Scale
@@ -92,23 +94,35 @@ func main() {
 		jsonSink = obs.NewJSONL(f)
 	}
 	var reg *obs.Registry
-	if *metrics {
+	if *metrics || *obsAddr != "" {
 		reg = obs.NewRegistry()
+	}
+	if *metrics {
 		defer func() {
 			fmt.Fprintln(os.Stderr, "metrics:")
 			reg.Dump(os.Stderr)
 		}()
 	}
+	sink := jsonSink
+	if *obsAddr != "" {
+		ring := obs.NewTraceRing(0)
+		addr, err := obshttp.Serve(*obsAddr, reg, ring)
+		if err != nil {
+			fail("telemetry server: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry at http://%s\n", addr)
+		sink = obs.Multi(jsonSink, ring)
+	}
 
 	if *optName == "monsoon" {
-		runMonsoonTraced(*spec, sc, *priorName, jsonSink, reg, *planCache, *repeat)
+		runMonsoonTraced(*spec, sc, *priorName, sink, reg, *planCache, *repeat)
 		return
 	}
 	if *explain {
-		runExplained(*spec, sc, *optName, jsonSink)
+		runExplained(*spec, sc, *optName, sink)
 		return
 	}
-	o := pickOption(*optName, sc, jsonSink)
+	o := pickOption(*optName, sc, sink)
 	out := o.Run(*spec, sc.Timeout, sc.MaxTuples, sc.Seed)
 	report(o.Name(), out)
 }
@@ -235,9 +249,11 @@ func runMonsoonTraced(spec harness.QuerySpec, sc harness.Scale, priorName string
 		fmt.Printf("plan cache: %d hits, %d misses, %d entries\n", s.Hits, s.Misses, s.Entries)
 	}
 
-	// EXPLAIN ANALYZE over the trees the EXECUTE rounds materialized, from
-	// the recorded estimate-vs-actual events (est = the prior's expectation
-	// frozen just before each round ran).
+	// EXPLAIN ANALYZE over the trees the EXECUTE rounds materialized: the
+	// estimates come from the recorded estimate-vs-actual events (est = the
+	// prior's expectation frozen just before each round ran), the wall times
+	// from the run's assembled span tree — inclusive per plan node, plus the
+	// self component net of child operators.
 	ests, actuals := map[string]float64{}, map[string]float64{}
 	times := map[string]time.Duration{}
 	for _, e := range col.Estimates {
@@ -246,10 +262,14 @@ func runMonsoonTraced(spec harness.QuerySpec, sc harness.Scale, priorName string
 			times[e.Expr] = e.Dur
 		}
 	}
+	incl, selfs := obs.OperatorTimes(obs.BuildSpanTree(col.Spans))
+	for k, d := range incl {
+		times[k] = d
+	}
 	if len(res.Executed) > 0 {
 		fmt.Println("\nEXPLAIN ANALYZE (executed trees, in order):")
 		for i, tree := range res.Executed {
-			fmt.Printf("-- tree %d --\n%s", i+1, cost.ExplainAnalyze(spec.Q, tree, ests, actuals, times))
+			fmt.Printf("-- tree %d --\n%s", i+1, cost.ExplainAnalyze(spec.Q, tree, ests, actuals, times, selfs))
 		}
 	}
 	fmt.Printf("trace: %d spans, %d trace lines, %d estimate records\n",

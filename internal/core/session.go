@@ -207,6 +207,8 @@ func (s *Session) PlanRound() (bool, error) {
 		}
 		t0 := time.Now()
 		psp := s.tr.Start(obs.KPlan, "mcts")
+		// Shard spans of this search (if it fans out) parent to psp.
+		s.planner.Trace(s.tr, psp)
 		picked := s.planner.Plan(s.model, s.state)
 		planElapsed := time.Since(t0)
 		// LastStats is a value, valid on every return from Plan, so it needs

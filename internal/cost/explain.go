@@ -81,23 +81,27 @@ func explainNode(b *strings.Builder, dv *Deriver, n *plan.Node, actuals map[stri
 
 // ExplainAnalyze renders an executed plan tree with the optimizer's estimated
 // cardinality, the observed cardinality, the per-node q-error, and — when the
-// engine reported per-node timings — the inclusive wall time of each operator:
+// engine reported per-node timings — the inclusive wall time of each operator.
+// When a self-time map is supplied too (derived from the run's span tree via
+// obs.OperatorTimes), each node also shows the time spent in the operator
+// itself, net of its children:
 //
-//	⋈ [R+S+T] preds{F3(R.b)=id(T.k)} est=1e+06 actual=964412 q=1.04 time=12.3ms
-//	  ⋈ [R+S] preds{F1(R.a)=id(S.k)} est=1e+07 actual=1.2e+07 q=1.20 time=9.8ms
-//	    scan R est=1e+06 actual=1e+06 q=1.00 time=1.1ms
+//	⋈ [R+S+T] preds{F3(R.b)=id(T.k)} est=1e+06 actual=964412 q=1.04 time=12.3ms self=2.5ms
+//	  ⋈ [R+S] preds{F1(R.a)=id(S.k)} est=1e+07 actual=1.2e+07 q=1.20 time=9.8ms self=7.6ms
+//	    scan R est=1e+06 actual=1e+06 q=1.00 time=1.1ms self=1.1ms
 //
 // Unlike Explain it does not need a Deriver: estimates and actuals both come
 // as maps keyed by plan.Node.Key, so callers can render from recorded trace
 // events long after the run (the CLI's --explain analyze path does exactly
-// that). Nodes missing from a map render "?" for that column.
-func ExplainAnalyze(q *query.Query, tree *plan.Node, ests, actuals map[string]float64, times map[string]time.Duration) string {
+// that). Nodes missing from a map render "?" for that column; a nil selfs map
+// omits the self column entirely.
+func ExplainAnalyze(q *query.Query, tree *plan.Node, ests, actuals map[string]float64, times, selfs map[string]time.Duration) string {
 	var b strings.Builder
-	analyzeNode(&b, q, tree, ests, actuals, times, 0, true)
+	analyzeNode(&b, q, tree, ests, actuals, times, selfs, 0, true)
 	return b.String()
 }
 
-func analyzeNode(b *strings.Builder, q *query.Query, n *plan.Node, ests, actuals map[string]float64, times map[string]time.Duration, depth int, root bool) {
+func analyzeNode(b *strings.Builder, q *query.Query, n *plan.Node, ests, actuals map[string]float64, times, selfs map[string]time.Duration, depth int, root bool) {
 	b.WriteString(strings.Repeat("  ", depth))
 	b.WriteString(nodeLabel(q, n, root))
 	key := n.Key()
@@ -123,9 +127,12 @@ func analyzeNode(b *strings.Builder, q *query.Query, n *plan.Node, ests, actuals
 	if d, ok := times[key]; ok {
 		fmt.Fprintf(b, " time=%s", d.Round(time.Microsecond))
 	}
+	if d, ok := selfs[key]; ok {
+		fmt.Fprintf(b, " self=%s", d.Round(time.Microsecond))
+	}
 	b.WriteByte('\n')
 	if !n.IsLeaf() {
-		analyzeNode(b, q, n.Left, ests, actuals, times, depth+1, false)
-		analyzeNode(b, q, n.Right, ests, actuals, times, depth+1, false)
+		analyzeNode(b, q, n.Left, ests, actuals, times, selfs, depth+1, false)
+		analyzeNode(b, q, n.Right, ests, actuals, times, selfs, depth+1, false)
 	}
 }

@@ -198,7 +198,7 @@ func (e *Engine) execLeaf(q *query.Query, n *plan.Node, budget *Budget) (*table.
 	if m, ok := e.mats[key]; ok {
 		// Reusing a materialized expression still costs one pass over it
 		// (cost(r) = c(r) for r in Re, §4.4).
-		sp := e.Obs.Start(obs.KReuse, key).SetRows(m.Count(), m.Count())
+		sp := e.Obs.Start(obs.KReuse, key).SetStr("expr", key).SetRows(m.Count(), m.Count())
 		if err := budget.Charge(m.Count()); err != nil {
 			sp.SetStr("err", err.Error()).End()
 			return nil, err
@@ -216,7 +216,7 @@ func (e *Engine) execLeaf(q *query.Query, n *plan.Node, budget *Budget) (*table.
 	}
 	base := e.Cat.MustGet(tbl).Renamed(alias)
 	sels := q.SelsAt(n.Leaf)
-	sp := e.Obs.Start(obs.KScan, alias).SetNum("selections", float64(len(sels)))
+	sp := e.Obs.Start(obs.KScan, alias).SetStr("expr", key).SetNum("selections", float64(len(sels)))
 	if len(sels) == 0 {
 		if err := budget.Charge(base.Count()); err != nil {
 			sp.SetRows(base.Count(), 0).SetStr("err", err.Error()).End()
@@ -233,7 +233,7 @@ func (e *Engine) execLeaf(q *query.Query, n *plan.Node, budget *Budget) (*table.
 	var out []table.Row
 	if w := e.workers(base.Count()); w > 1 {
 		sp.SetNum("workers", float64(w))
-		pout, err := parallelFilter(base, sels, budget, w)
+		pout, err := parallelFilter(base, sels, budget, w, e.tracedRunner(sp))
 		if err != nil {
 			sp.SetRows(base.Count(), len(pout)).SetStr("err", err.Error()).End()
 			return nil, err
@@ -275,7 +275,21 @@ type residual struct {
 	k      value.Value   // selection constant
 }
 
+// execJoin executes one join node under a KJoin umbrella span that covers the
+// children and the join phases, so the span tree reproduces the plan tree:
+// materialize → join → {child operators, hash-build/probe or nested-loop}.
 func (e *Engine) execJoin(q *query.Query, n *plan.Node, budget *Budget, res *ExecResult) (*table.Relation, error) {
+	jsp := e.Obs.Start(obs.KJoin, n.Key()).SetStr("expr", n.Key())
+	rel, err := e.execJoinNode(q, n, budget, res)
+	if err != nil {
+		jsp.SetStr("err", err.Error()).End()
+		return nil, err
+	}
+	jsp.SetRows(0, rel.Count()).End()
+	return rel, nil
+}
+
+func (e *Engine) execJoinNode(q *query.Query, n *plan.Node, budget *Budget, res *ExecResult) (*table.Relation, error) {
 	left, err := e.exec(q, n.Left, budget, res)
 	if err != nil {
 		return nil, err
@@ -362,7 +376,7 @@ func (e *Engine) hashJoin(left, right *table.Relation, buildTerm, probeTerm *que
 	if w := e.workers(buildRel.Count()); w > 1 {
 		bsp.SetNum("workers", float64(w))
 		var err error
-		ht, inserted, err = parallelBuild(buildRel, bTerm, budget, w)
+		ht, inserted, err = parallelBuild(buildRel, bTerm, budget, w, e.tracedRunner(bsp))
 		if err != nil {
 			bsp.SetRows(buildRel.Count(), inserted).SetStr("err", err.Error()).End()
 			return nil, err
@@ -389,7 +403,7 @@ func (e *Engine) hashJoin(left, right *table.Relation, buildTerm, probeTerm *que
 	var out []table.Row
 	if w := e.workers(probeRel.Count()); w > 1 {
 		psp.SetNum("workers", float64(w))
-		pout, err := parallelProbe(buildRel, probeRel, ht, pTerm, residuals, outSchema, leftIsBuild, budget, w)
+		pout, err := parallelProbe(buildRel, probeRel, ht, pTerm, residuals, outSchema, leftIsBuild, budget, w, e.tracedRunner(psp))
 		if err != nil {
 			psp.SetRows(probeRel.Count(), len(pout)).SetStr("err", err.Error()).End()
 			return nil, err
@@ -483,7 +497,7 @@ func (e *Engine) nestedLoop(left, right *table.Relation, residuals []residual,
 		}
 		if w > 1 {
 			sp.SetNum("workers", float64(w))
-			out, pairs, err := parallelNestedLoop(left, right, residuals, outSchema, budget, w)
+			out, pairs, err := parallelNestedLoop(left, right, residuals, outSchema, budget, w, e.tracedRunner(sp))
 			if err != nil {
 				sp.SetRows(pairs, len(out)).SetStr("err", err.Error()).End()
 				return nil, err
@@ -568,7 +582,7 @@ func (e *Engine) collectSigma(q *query.Query, n *plan.Node, rel *table.Relation,
 		for i, t := range ts {
 			terms[i] = t.term
 		}
-		merged, err := parallelSigma(rel, terms, p, budget, w)
+		merged, err := parallelSigma(rel, terms, p, budget, w, e.tracedRunner(sp))
 		if err != nil {
 			sp.SetRows(rel.Count(), 0).SetStr("err", err.Error()).End()
 			return err

@@ -10,10 +10,13 @@
 package engine
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"monsoon/internal/expr"
+	"monsoon/internal/obs"
 	"monsoon/internal/query"
 	"monsoon/internal/sketch"
 	"monsoon/internal/table"
@@ -63,6 +66,11 @@ func splitRows(n, w int) [][2]int {
 	return out
 }
 
+// workerRunner fans a partitioned loop body out over w workers over n rows.
+// runWorkers is the plain implementation; Engine.tracedRunner layers
+// per-worker spans on top of the same fan-out.
+type workerRunner func(n, w int, fn func(worker, lo, hi int) error) error
+
 // runWorkers fans fn out over w contiguous partitions of n rows and returns
 // the error of the lowest-numbered failing partition (deterministic even when
 // several workers trip the budget at once).
@@ -84,6 +92,53 @@ func runWorkers(n, w int, fn func(worker, lo, hi int) error) error {
 		}
 	}
 	return nil
+}
+
+// tracedRunner returns the worker runner for one parallel operator: plain
+// runWorkers when tracing is off, otherwise a fan-out that records one
+// KWorker span per partition under the operator's span. Span IDs stay
+// deterministic because the coordinator pre-creates every worker span before
+// the goroutines launch and ends them in index order after the barrier; each
+// span's duration is the worker's own measured busy time (EndIn), not the
+// coordinator's wall clock. Worker *counts* still follow GOMAXPROCS, which is
+// why KWorker is the one machine-dependent span kind.
+func (e *Engine) tracedRunner(op *obs.Span) workerRunner {
+	if op == nil || !e.Obs.Active() {
+		return runWorkers
+	}
+	return func(n, w int, fn func(worker, lo, hi int) error) error {
+		parts := splitRows(n, w)
+		spans := make([]*obs.Span, len(parts))
+		for i, p := range parts {
+			spans[i] = e.Obs.StartChild(op, obs.KWorker, fmt.Sprintf("w%d", i)).
+				SetRows(p[1]-p[0], 0)
+		}
+		elapsed := make([]time.Duration, len(parts))
+		errs := make([]error, len(parts))
+		var wg sync.WaitGroup
+		for i, p := range parts {
+			wg.Add(1)
+			go func(i, lo, hi int) {
+				defer wg.Done()
+				t0 := time.Now()
+				errs[i] = fn(i, lo, hi)
+				elapsed[i] = time.Since(t0)
+			}(i, p[0], p[1])
+		}
+		wg.Wait()
+		for i, sp := range spans {
+			if errs[i] != nil {
+				sp.SetStr("err", errs[i].Error())
+			}
+			sp.EndIn(elapsed[i])
+		}
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 }
 
 // stitch concatenates per-worker output buffers in partition order, which is
@@ -137,9 +192,9 @@ func rebindResiduals(residuals []residual, s *table.Schema) []residual {
 // parallelFilter is the fan-out version of execLeaf's selection scan: chunked
 // input, per-worker bindings and buffers, outputs stitched in input order.
 // Every binding was validated by the caller, so worker rebinds cannot fail.
-func parallelFilter(base *table.Relation, sels []*query.SelPred, budget *Budget, w int) ([]table.Row, error) {
+func parallelFilter(base *table.Relation, sels []*query.SelPred, budget *Budget, w int, run workerRunner) ([]table.Row, error) {
 	bufs := make([][]table.Row, w)
-	err := runWorkers(base.Count(), w, func(worker, lo, hi int) error {
+	err := run(base.Count(), w, func(worker, lo, hi int) error {
 		bound, _ := bindSels(sels, base.Schema)
 		out := make([]table.Row, 0, (hi-lo)/4+1)
 		for _, row := range base.Rows[lo:hi] {
@@ -168,9 +223,9 @@ func parallelFilter(base *table.Relation, sels []*query.SelPred, budget *Budget,
 // table is shared read-only, the probe side is chunked, and per-worker output
 // buffers are stitched back in probe order.
 func parallelProbe(buildRel, probeRel *table.Relation, ht hashTable, pTerm *query.Term,
-	residuals []residual, outSchema *table.Schema, leftIsBuild bool, budget *Budget, w int) ([]table.Row, error) {
+	residuals []residual, outSchema *table.Schema, leftIsBuild bool, budget *Budget, w int, run workerRunner) ([]table.Row, error) {
 	bufs := make([][]table.Row, w)
-	err := runWorkers(probeRel.Count(), w, func(worker, lo, hi int) error {
+	err := run(probeRel.Count(), w, func(worker, lo, hi int) error {
 		pb, _ := pTerm.Fn.Bind(probeRel.Schema)
 		res := rebindResiduals(residuals, outSchema)
 		scratch := make(table.Row, len(outSchema.Cols))
@@ -226,10 +281,10 @@ func parallelProbe(buildRel, probeRel *table.Relation, ht hashTable, pTerm *quer
 // first-occurrence order, per-bucket row lists ascending — so the merged
 // table is identical to the one the serial loop builds. Returns the table
 // and the number of non-NULL keys inserted.
-func parallelBuild(buildRel *table.Relation, bTerm *query.Term, budget *Budget, w int) (hashTable, int, error) {
+func parallelBuild(buildRel *table.Relation, bTerm *query.Term, budget *Budget, w int, run workerRunner) (hashTable, int, error) {
 	subs := make([]hashTable, w)
 	ins := make([]int, w)
-	err := runWorkers(buildRel.Count(), w, func(worker, lo, hi int) error {
+	err := run(buildRel.Count(), w, func(worker, lo, hi int) error {
 		bb, _ := bTerm.Fn.Bind(buildRel.Schema)
 		ht := make(hashTable, hi-lo)
 		for j, row := range buildRel.Rows[lo:hi] {
@@ -284,10 +339,10 @@ func parallelBuild(buildRel *table.Relation, bTerm *query.Term, budget *Budget, 
 // lrow-major output order. Returns the joined rows and the number of row
 // pairs scanned.
 func parallelNestedLoop(left, right *table.Relation, residuals []residual,
-	outSchema *table.Schema, budget *Budget, w int) ([]table.Row, int, error) {
+	outSchema *table.Schema, budget *Budget, w int, run workerRunner) ([]table.Row, int, error) {
 	bufs := make([][]table.Row, w)
 	pairsBy := make([]int, w)
-	err := runWorkers(left.Count(), w, func(worker, lo, hi int) error {
+	err := run(left.Count(), w, func(worker, lo, hi int) error {
 		res := rebindResiduals(residuals, outSchema)
 		scratch := make(table.Row, len(outSchema.Cols))
 		var out []table.Row
@@ -332,9 +387,9 @@ type sigmaSketches []*sketch.HLL
 // scans its chunk, and the clones are merged register-wise afterwards — the
 // merge is a per-register max, so the merged estimate is identical to the
 // serial single-sketch estimate regardless of partitioning.
-func parallelSigma(rel *table.Relation, terms []*query.Term, p uint8, budget *Budget, w int) (sigmaSketches, error) {
+func parallelSigma(rel *table.Relation, terms []*query.Term, p uint8, budget *Budget, w int, run workerRunner) (sigmaSketches, error) {
 	clones := make([]sigmaSketches, w)
-	err := runWorkers(rel.Count(), w, func(worker, lo, hi int) error {
+	err := run(rel.Count(), w, func(worker, lo, hi int) error {
 		bs := make([]*expr.Binding, len(terms))
 		hs := make(sigmaSketches, len(terms))
 		for i, t := range terms {

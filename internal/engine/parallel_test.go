@@ -108,11 +108,28 @@ func TestParallelSpansCarryWorkers(t *testing.T) {
 		return col
 	}
 	ser, p := trace(1), trace(4)
-	if len(ser.Spans) != len(p.Spans) {
-		t.Fatalf("span count changed: serial %d, parallel %d", len(ser.Spans), len(p.Spans))
+	// The parallel stream additionally carries one KWorker span per fan-out
+	// worker (the one machine-dependent kind); set those aside and demand the
+	// remaining operator stream match the serial one span-for-span.
+	var pOps []*obs.Span
+	workersByParent := make(map[int]int)
+	for _, sp := range p.Spans {
+		if sp.Kind == obs.KWorker {
+			workersByParent[sp.Parent]++
+			continue
+		}
+		pOps = append(pOps, sp)
+	}
+	for _, ssp := range ser.Spans {
+		if ssp.Kind == obs.KWorker {
+			t.Fatalf("serial run emitted a %s span", obs.KWorker)
+		}
+	}
+	if len(ser.Spans) != len(pOps) {
+		t.Fatalf("span count changed: serial %d, parallel %d (workers excluded)", len(ser.Spans), len(pOps))
 	}
 	sawWorkers := 0
-	for i, psp := range p.Spans {
+	for i, psp := range pOps {
 		ssp := ser.Spans[i]
 		if psp.Kind != ssp.Kind || psp.RowsIn != ssp.RowsIn || psp.RowsOut != ssp.RowsOut {
 			t.Errorf("span %d: parallel %s %d/%d vs serial %s %d/%d",
@@ -128,7 +145,16 @@ func TestParallelSpansCarryWorkers(t *testing.T) {
 			default:
 				t.Errorf("span %d: workers attribute on unexpected kind %s", i, psp.Kind)
 			}
+			// The fan-out must be visible in the span tree too: exactly one
+			// KWorker span per worker, parented to this operator span.
+			if got := workersByParent[psp.ID]; got != int(w) {
+				t.Errorf("span %d (%s): %d worker spans, workers attribute says %v", i, psp.Kind, got, w)
+			}
+			delete(workersByParent, psp.ID)
 		}
+	}
+	for parent, n := range workersByParent {
+		t.Errorf("%d worker spans parented to span %d, which carries no workers attribute", n, parent)
 	}
 	if sawWorkers == 0 {
 		t.Error("no span carried a workers attribute; parallel path never engaged")
@@ -274,7 +300,7 @@ func TestParallelBuildIdenticalTable(t *testing.T) {
 		rel, term := buildFixture(rows)
 		want, wantIns := serialBuild(rel, term)
 		for _, w := range []int{1, 2, 7, 64} {
-			ht, ins, err := parallelBuild(rel, term, &Budget{}, w)
+			ht, ins, err := parallelBuild(rel, term, &Budget{}, w, runWorkers)
 			if err != nil {
 				t.Fatalf("rows=%d w=%d: %v", rows, w, err)
 			}
@@ -293,7 +319,7 @@ func TestParallelBuildIdenticalTable(t *testing.T) {
 func TestParallelBuildEmptySide(t *testing.T) {
 	rel, term := buildFixture(0)
 	for _, w := range []int{1, 2, 7, 64} {
-		ht, ins, err := parallelBuild(rel, term, &Budget{}, w)
+		ht, ins, err := parallelBuild(rel, term, &Budget{}, w, runWorkers)
 		if err != nil {
 			t.Fatalf("w=%d: %v", w, err)
 		}
@@ -309,7 +335,7 @@ func TestParallelBuildBudgetAbort(t *testing.T) {
 	rel, term := buildFixture(5000)
 	b := &Budget{}
 	b.Deadline = time.Now().Add(-time.Second)
-	if _, _, err := parallelBuild(rel, term, b, 4); !errors.Is(err, ErrBudget) {
+	if _, _, err := parallelBuild(rel, term, b, 4, runWorkers); !errors.Is(err, ErrBudget) {
 		t.Errorf("err = %v, want ErrBudget", err)
 	}
 }

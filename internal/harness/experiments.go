@@ -228,7 +228,8 @@ func (r *Runner) Table2(w io.Writer) error {
 		}
 		for _, p := range prior.All() {
 			opt := Monsoon{Prior: p, Iterations: sc.MCTSIterations,
-				Parallelism: sc.Parallelism, PlanParallelism: sc.PlanParallelism}
+				Parallelism: sc.Parallelism, PlanParallelism: sc.PlanParallelism,
+				Metrics: r.Metrics, Sink: r.Sink}
 			br, err := RunBenchmark(specs, []Option{opt}, sc.Timeout, sc.MaxTuples, sc.Seed, nil)
 			if err != nil {
 				return err
@@ -274,8 +275,8 @@ func (r *Runner) imdbBench() (*BenchResult, error) {
 
 func printAggTable(w io.Writer, title string, names []string, br *BenchResult, filter map[string]bool) {
 	fmt.Fprintln(w, title)
-	fmt.Fprintf(w, "%-22s %-4s %-10s %-10s %-10s %-15s %-8s %-8s\n",
-		"Implementation", "TO", "Mean", "Median", "Max", "GeoMean(tuples)", "Q-geo", "Q-max")
+	fmt.Fprintf(w, "%-22s %-4s %-10s %-10s %-10s %-10s %-10s %-15s %-8s %-8s %-5s\n",
+		"Implementation", "TO", "Mean", "Median", "P50", "P99", "Max", "GeoMean(tuples)", "Q-geo", "Q-max", "Miss")
 	for _, n := range names {
 		rs := br.Results[n]
 		if filter != nil {
@@ -283,10 +284,27 @@ func printAggTable(w io.Writer, title string, names []string, br *BenchResult, f
 		}
 		a := Aggregate(rs, br.Timeout)
 		mean, median, max := fmtAgg(a, br.Timeout)
-		qgeo, qmax := qerrCols(rs)
-		fmt.Fprintf(w, "%-22s %-4d %-10s %-10s %-10s %-15.4g %-8s %-8s\n",
-			n, a.TO, mean, median, max, geoMeanProduced(rs), qgeo, qmax)
+		p50, p99 := timeQuantiles(rs, br.Timeout)
+		qgeo, qmax, qmiss := qerrCols(rs)
+		fmt.Fprintf(w, "%-22s %-4d %-10s %-10s %-10s %-10s %-10s %-15.4g %-8s %-8s %-5s\n",
+			n, a.TO, mean, median, p50, p99, max, geoMeanProduced(rs), qgeo, qmax, qmiss)
 	}
+}
+
+// timeQuantiles estimates the p50/p99 run wall time of one option's results
+// through the obs log₂ histogram — the same estimator the live /metrics
+// endpoint reports, so table and endpoint percentiles agree in kind. Timed-out
+// runs contribute the timeout value, matching how Aggregate treats the median.
+func timeQuantiles(rs []QueryResult, timeout time.Duration) (p50, p99 string) {
+	if len(rs) == 0 {
+		return "-", "-"
+	}
+	h := &obs.Histogram{}
+	for _, r := range rs {
+		h.ObserveDuration(effTime(r, timeout))
+	}
+	secs := func(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+	return "≤" + fmtDur(secs(h.Quantile(0.50))), "≤" + fmtDur(secs(h.Quantile(0.99)))
 }
 
 // Table3 prints the full IMDB aggregate.
@@ -477,20 +495,27 @@ func (r *Runner) Table8(w io.Writer) error {
 		{"UDF", udfBR.Results["Monsoon"]},
 	}
 	fmt.Fprintln(w, "Table 8: average time per component of the Monsoon optimizer")
-	fmt.Fprintf(w, "%-10s %-10s %-10s %-10s\n", "Benchmark", "MCTS", "Σ", "Execution")
+	fmt.Fprintf(w, "%-10s %-10s %-10s %-10s %-12s %-12s %-12s %-12s\n",
+		"Benchmark", "MCTS", "Σ", "Execution", "plan-p50", "plan-p99", "exec-p50", "exec-p99")
+	secs := func(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
 	for _, row := range rows {
 		var mcts, sigma, exec time.Duration
 		n := len(row.rs)
 		if n == 0 {
 			continue
 		}
+		planH, execH := &obs.Histogram{}, &obs.Histogram{}
 		for _, qr := range row.rs {
 			mcts += qr.MCTSTime
 			sigma += qr.SigmaTime
 			exec += qr.ExecTime
+			planH.ObserveDuration(qr.MCTSTime)
+			execH.ObserveDuration(qr.ExecTime)
 		}
-		fmt.Fprintf(w, "%-10s %-10s %-10s %-10s\n", row.label,
-			fmtDur(mcts/time.Duration(n)), fmtDur(sigma/time.Duration(n)), fmtDur(exec/time.Duration(n)))
+		fmt.Fprintf(w, "%-10s %-10s %-10s %-10s %-12s %-12s %-12s %-12s\n", row.label,
+			fmtDur(mcts/time.Duration(n)), fmtDur(sigma/time.Duration(n)), fmtDur(exec/time.Duration(n)),
+			"≤"+fmtDur(secs(planH.Quantile(0.50))), "≤"+fmtDur(secs(planH.Quantile(0.99))),
+			"≤"+fmtDur(secs(execH.Quantile(0.50))), "≤"+fmtDur(secs(execH.Quantile(0.99))))
 	}
 	return nil
 }
@@ -514,9 +539,12 @@ func (r *Runner) PlanCacheStudy(w io.Writer) error {
 		label string
 		opt   Monsoon
 	}{
-		{"uncached", Monsoon{Iterations: sc.MCTSIterations, Parallelism: sc.Parallelism}},
-		{"cold", Monsoon{Iterations: sc.MCTSIterations, Parallelism: sc.Parallelism, Cache: cache}},
-		{"warm", Monsoon{Iterations: sc.MCTSIterations, Parallelism: sc.Parallelism, Cache: cache}},
+		{"uncached", Monsoon{Iterations: sc.MCTSIterations, Parallelism: sc.Parallelism,
+			Metrics: r.Metrics, Sink: r.Sink}},
+		{"cold", Monsoon{Iterations: sc.MCTSIterations, Parallelism: sc.Parallelism, Cache: cache,
+			Metrics: r.Metrics, Sink: r.Sink}},
+		{"warm", Monsoon{Iterations: sc.MCTSIterations, Parallelism: sc.Parallelism, Cache: cache,
+			Metrics: r.Metrics, Sink: r.Sink}},
 	}
 	fmt.Fprintln(w, "Plan cache study: repeated IMDB campaign through one shared cache")
 	fmt.Fprintf(w, "%-10s %-12s %-12s %-8s %-8s %-8s\n", "Pass", "MCTS", "Total", "Hits", "Misses", "HitRate")

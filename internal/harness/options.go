@@ -51,11 +51,15 @@ type Outcome struct {
 	MCTSTime, SigmaTime, ExecTime time.Duration
 	// QErrJoins, QErrGeo and QErrMax summarize the run's estimate-vs-actual
 	// records: the number of join nodes whose cardinality was both predicted
-	// and observed, and the geometric mean and maximum of their q-errors.
-	// Zero for options that record no estimates.
-	QErrJoins int
-	QErrGeo   float64
-	QErrMax   float64
+	// and observed, and the geometric mean and maximum of their *finite*
+	// q-errors. Unboundedly wrong estimates — one side empty, the other not,
+	// or beyond the 1e12 clamp — are counted in QErrMisses instead, so they
+	// cannot poison the aggregates. Zero for options that record no
+	// estimates.
+	QErrJoins  int
+	QErrGeo    float64
+	QErrMax    float64
+	QErrMisses int
 	// CacheHits and CacheMisses count plan-cache consultations (Monsoon
 	// with a cache attached only; zero otherwise).
 	CacheHits, CacheMisses int
@@ -258,12 +262,15 @@ func (s Skinner) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, s
 
 // qerrSink accumulates join q-errors from the driver's estimate events; it
 // is the cheapest possible consumer of the structured stream (no spans are
-// retained). Unboundedly wrong estimates are clamped so one +Inf does not
-// swallow the geometric mean.
+// retained). Unboundedly wrong estimates (one side empty — q = +Inf — or
+// beyond the clamp) are counted as misses rather than folded into the
+// aggregates, so one empty intermediate cannot swallow the geometric mean or
+// render the max as "inf".
 type qerrSink struct {
 	logSum float64
 	n      int
 	max    float64
+	misses int
 }
 
 const qerrClamp = 1e12
@@ -272,11 +279,12 @@ func (qs *qerrSink) Emit(ev obs.Event) {
 	if ev.Type != obs.EvEstimate || !ev.Est.Join {
 		return
 	}
-	q := ev.Est.QError
-	if q > qerrClamp || math.IsNaN(q) {
-		q = qerrClamp
-	}
 	qs.n++
+	q := ev.Est.QError
+	if q >= qerrClamp || math.IsInf(q, 0) || math.IsNaN(q) {
+		qs.misses++
+		return
+	}
 	qs.logSum += math.Log(q)
 	if q > qs.max {
 		qs.max = q
@@ -284,10 +292,11 @@ func (qs *qerrSink) Emit(ev obs.Event) {
 }
 
 func (qs *qerrSink) geo() float64 {
-	if qs.n == 0 {
+	fin := qs.n - qs.misses
+	if fin == 0 {
 		return 0
 	}
-	return math.Exp(qs.logSum / float64(qs.n))
+	return math.Exp(qs.logSum / float64(fin))
 }
 
 // Monsoon is the paper's optimizer (option 6).
@@ -341,7 +350,7 @@ func (m Monsoon) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, s
 	out := Outcome{
 		Rows: res.Rows, Value: res.Value,
 		MCTSTime: res.PlanTime, SigmaTime: res.SigmaTime, ExecTime: res.ExecTime,
-		QErrJoins: qs.n, QErrGeo: qs.geo(), QErrMax: qs.max,
+		QErrJoins: qs.n, QErrGeo: qs.geo(), QErrMax: qs.max, QErrMisses: qs.misses,
 		CacheHits: res.CacheHits, CacheMisses: res.CacheMisses,
 	}
 	return finish(start, b, err, out)

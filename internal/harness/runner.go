@@ -176,31 +176,40 @@ func fmtAgg(a Agg, timeout time.Duration) (mean, median, max string) {
 }
 
 // qerrCols pools the per-run join q-error summaries of one option's results
-// into a campaign-wide geometric mean and maximum. Each run contributes its
-// geometric mean weighted by the number of joins behind it (recovering the
-// pooled log-sum), so queries with more joins count proportionally. Options
-// that record no estimates render "-".
-func qerrCols(rs []QueryResult) (geo, max string) {
+// into a campaign-wide geometric mean, maximum, and miss count. Each run
+// contributes its geometric mean weighted by the number of finite q-errors
+// behind it (recovering the pooled log-sum), so queries with more joins count
+// proportionally; unboundedly wrong estimates (an estimated-nonempty join
+// that came back empty, or vice versa) are tallied in the miss column instead
+// of rendering the aggregates as "inf". Options that record no estimates
+// render "-".
+func qerrCols(rs []QueryResult) (geo, max, miss string) {
 	logSum, mx := 0.0, 0.0
-	n := 0
+	n, misses := 0, 0
+	any := false
 	for _, r := range rs {
 		if r.QErrJoins == 0 {
 			continue
 		}
-		logSum += math.Log(r.QErrGeo) * float64(r.QErrJoins)
-		n += r.QErrJoins
+		any = true
+		misses += r.QErrMisses
+		if fin := r.QErrJoins - r.QErrMisses; fin > 0 {
+			logSum += math.Log(r.QErrGeo) * float64(fin)
+			n += fin
+		}
 		if r.QErrMax > mx {
 			mx = r.QErrMax
 		}
 	}
-	if n == 0 {
-		return "-", "-"
+	if !any {
+		return "-", "-", "-"
 	}
-	max = fmt.Sprintf("%.3g", mx)
-	if mx >= qerrClamp {
-		max = "inf" // an estimated-nonempty join came back empty (or vice versa)
+	geo, max = "-", "-"
+	if n > 0 {
+		geo = fmt.Sprintf("%.2f", math.Exp(logSum/float64(n)))
+		max = fmt.Sprintf("%.3g", mx)
 	}
-	return fmt.Sprintf("%.2f", math.Exp(logSum/float64(n))), max
+	return geo, max, fmt.Sprintf("%d", misses)
 }
 
 // geoMeanProduced reports the geometric mean of tuples produced — a

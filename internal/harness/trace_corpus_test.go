@@ -1,17 +1,16 @@
 package harness
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
-	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"testing"
 
-	"monsoon/internal/bench/tpch"
 	"monsoon/internal/obs"
+	"monsoon/internal/obs/tracefile"
 )
 
 // updateSpans rewrites the span-count baseline from the current run instead
@@ -30,30 +29,25 @@ type spanCountRecord struct {
 	Count int    `json:"count"`
 }
 
-// spanCountWorkload runs the Monsoon leg of the small campaign's TPC-H suite
-// (the workload recorded in campaign_small.txt) with a span collector
-// attached and tallies spans per operator kind. The run is host-independent
-// by construction: no wall-clock deadline (a slow machine must not change
-// how far a query gets), the campaign's tuple budget, and the campaign seed,
-// so the span stream — and with it every count — is deterministic.
+// spanCountWorkload runs Runner.TraceCorpus — the same workload CI records
+// with `monsoon-bench -exp tracecorpus` — at Small scale with a span
+// collector attached and tallies spans per operator kind.
 func spanCountWorkload(t *testing.T) map[string]int {
 	t.Helper()
-	sc := Small()
-	cat := tpch.Generate(tpch.Config{ScaleFactor: sc.TPCHSF, Seed: sc.Seed})
+	col := &obs.Collector{}
+	r := &Runner{Scale: Small(), Sink: col}
+	if err := r.TraceCorpus(io.Discard); err != nil {
+		t.Fatal(err)
+	}
 	counts := make(map[string]int)
-	for _, q := range tpch.Queries() {
-		col := &obs.Collector{}
-		opt := Monsoon{Iterations: sc.MCTSIterations, Sink: col}
-		out := opt.Run(QuerySpec{Q: q, Cat: cat}, 0, sc.MaxTuples, sc.Seed)
-		if out.Err != nil {
-			t.Fatalf("%s: %v", q.Name, out.Err)
+	for _, sp := range col.Spans {
+		if sp.Kind == obs.KWorker {
+			// Worker fan-out follows GOMAXPROCS, so KWorker counts are the
+			// one machine-dependent quantity in the stream; the baseline
+			// (like monsoon-trace diff) excludes them.
+			continue
 		}
-		if out.TimedOut {
-			t.Fatalf("%s: tuple budget tripped; the baseline workload must complete", q.Name)
-		}
-		for _, sp := range col.Spans {
-			counts[sp.Kind]++
-		}
+		counts[sp.Kind]++
 	}
 	return counts
 }
@@ -91,40 +85,17 @@ func TestSpanCountBaseline(t *testing.T) {
 		return
 	}
 
-	f, err := os.Open(spanBaselineFile)
+	// The comparison runs through tracefile.Diff — the same logic behind
+	// `monsoon-trace diff` — so the CI gate and the offline tool can never
+	// disagree about what counts as drift.
+	want, err := tracefile.ReadFile(spanBaselineFile)
 	if err != nil {
 		t.Fatalf("no baseline (%v); record one with -update-spans", err)
 	}
-	defer f.Close()
-	want := make(map[string]int)
-	scan := bufio.NewScanner(f)
-	for scan.Scan() {
-		var r spanCountRecord
-		if err := json.Unmarshal(scan.Bytes(), &r); err != nil {
-			t.Fatalf("corrupt baseline line %q: %v", scan.Text(), err)
-		}
-		want[r.Kind] = r.Count
-	}
-	if err := scan.Err(); err != nil {
-		t.Fatal(err)
-	}
-
-	kinds := make(map[string]bool, len(counts)+len(want))
-	for k := range counts {
-		kinds[k] = true
-	}
-	for k := range want {
-		kinds[k] = true
-	}
-	var drift []string
-	for k := range kinds {
-		if counts[k] != want[k] {
-			drift = append(drift, fmt.Sprintf("%s: got %d spans, baseline %d", k, counts[k], want[k]))
-		}
-	}
-	sort.Strings(drift)
+	got := &tracefile.Trace{Counts: counts, CountsOnly: true}
+	drift := tracefile.Diff(got, want, tracefile.DiffOptions{})
 	for _, d := range drift {
-		t.Error(d)
+		t.Errorf("%s (got vs baseline)", d)
 	}
 	if len(drift) > 0 {
 		t.Log("plan or instrumentation drift; if intended, re-pin with -update-spans")

@@ -16,7 +16,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"monsoon/internal/obs"
 	"monsoon/internal/randx"
 )
 
@@ -72,6 +74,21 @@ type RootPlanner struct {
 	// single stream advances across calls.
 	calls int
 	last  PlanStats
+
+	// tr/parent carry the observability context of the next Plan call; see
+	// Trace.
+	tr     *obs.Tracer
+	parent *obs.Span
+}
+
+// Trace attaches a tracer and the parent span (the driver's KPlan span) for
+// subsequent Plan calls: every real search emits one KPlanShard span per
+// shard under parent, carrying the shard's quota, rollouts, nodes, and its
+// own busy time. Shard count and quotas derive from the configuration alone,
+// so shard-span counts are machine-independent. Nil arguments switch shard
+// spans off.
+func (p *RootPlanner) Trace(tr *obs.Tracer, parent *obs.Span) {
+	p.tr, p.parent = tr, parent
 }
 
 // NewRoot creates a root-parallel planner. seed is the planner's base
@@ -153,9 +170,24 @@ func (p *RootPlanner) Plan(m Model, root State) Action {
 		workers = 1 // shared simulator: never drive it from two goroutines
 	}
 
+	// Pre-create the shard spans on the coordinating goroutine (deterministic
+	// IDs) before any worker launches; they are ended in index order after
+	// the barrier with each shard's own measured busy time.
+	var shardSpans []*obs.Span
+	if p.tr.Active() {
+		shardSpans = make([]*obs.Span, len(quotas))
+		for i := range quotas {
+			shardSpans[i] = p.tr.StartChild(p.parent, obs.KPlanShard, fmt.Sprintf("shard%d", i)).
+				SetNum("quota", float64(quotas[i]))
+		}
+	}
+	elapsed := make([]time.Duration, len(quotas))
+
 	roots := make([]*node, len(quotas))
 	stats := make([]PlanStats, len(quotas))
 	runShard := func(i int) {
+		t0 := time.Now()
+		defer func() { elapsed[i] = time.Since(t0) }()
 		sm := m
 		if forkable {
 			sm = forker.Fork(shardSeed(p.seed, p.calls, i, "model"))
@@ -195,6 +227,11 @@ func (p *RootPlanner) Plan(m Model, root State) Action {
 			}()
 		}
 		wg.Wait()
+	}
+	for i, sp := range shardSpans {
+		sp.SetNum("rollouts", float64(stats[i].Rollouts)).
+			SetNum("nodes", float64(stats[i].Nodes)).
+			EndIn(elapsed[i])
 	}
 
 	merged := roots[0]

@@ -175,11 +175,11 @@ func bucketOf(v float64) int {
 
 // HistogramStats is one histogram's summary.
 type HistogramStats struct {
-	Count    int64
-	Sum      float64
-	Min, Max float64
-	Mean     float64
-	P50, P95 float64 // upper bound of the log₂ bucket holding the quantile
+	Count         int64
+	Sum           float64
+	Min, Max      float64
+	Mean          float64
+	P50, P95, P99 float64 // upper bound of the log₂ bucket holding the quantile
 }
 
 // Stats summarizes the histogram. Nil-safe (zero value).
@@ -197,7 +197,54 @@ func (h *Histogram) Stats() HistogramStats {
 	s.Mean = h.sum / float64(h.count)
 	s.P50 = h.quantileLocked(0.50)
 	s.P95 = h.quantileLocked(0.95)
+	s.P99 = h.quantileLocked(0.99)
 	return s
+}
+
+// Quantile estimates the q-th quantile (0 < q ≤ 1) as the upper bound of the
+// log₂ bucket holding it — an overestimate by at most 2×, consistent across
+// runs. Nil-safe and safe on empty histograms (both return 0).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	return h.quantileLocked(q)
+}
+
+// Buckets returns the histogram's non-empty log₂ buckets as (upper bound,
+// count) pairs in ascending bound order — the raw material for cumulative
+// Prometheus exposition. Nil-safe (nil slice).
+func (h *Histogram) Buckets() []BucketCount {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []BucketCount
+	for i, n := range h.buckets {
+		if n > 0 {
+			out = append(out, BucketCount{
+				UpperBound: math.Pow(2, float64(i+histBucketMin+1)),
+				Count:      n,
+			})
+		}
+	}
+	return out
+}
+
+// BucketCount is one non-empty histogram bucket: values ≤ UpperBound landed
+// here (and not in a lower bucket).
+type BucketCount struct {
+	UpperBound float64
+	Count      int64
 }
 
 func (h *Histogram) quantileLocked(q float64) float64 {
@@ -215,46 +262,79 @@ func (h *Histogram) quantileLocked(q float64) float64 {
 	return h.max
 }
 
+// SnapshotEntry is one instrument in a Registry snapshot. Kind is "counter",
+// "gauge", or "histogram"; Value carries counter/gauge readings (counters as
+// exact float64 — they stay well under 2^53), Hist the histogram summary, and
+// Buckets the non-empty log₂ buckets (histograms only).
+type SnapshotEntry struct {
+	Name    string
+	Kind    string
+	Value   float64
+	Hist    HistogramStats
+	Buckets []BucketCount
+}
+
+// Snapshot returns every instrument as a deterministically ordered slice:
+// counters, then gauges, then histograms, each group sorted by name. All
+// metric dumps (CLI -metrics, /debug/vars, /metrics) render from this one
+// view, so their ordering never depends on map iteration. Nil-safe (nil
+// slice).
+func (r *Registry) Snapshot() []SnapshotEntry {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	type inst struct {
+		name string
+		c    *Counter
+		g    *Gauge
+		h    *Histogram
+	}
+	var cs, gs, hs []inst
+	for n, c := range r.counters {
+		cs = append(cs, inst{name: n, c: c})
+	}
+	for n, g := range r.gauges {
+		gs = append(gs, inst{name: n, g: g})
+	}
+	for n, h := range r.histograms {
+		hs = append(hs, inst{name: n, h: h})
+	}
+	r.mu.Unlock()
+
+	byName := func(s []inst) {
+		sort.Slice(s, func(i, j int) bool { return s[i].name < s[j].name })
+	}
+	byName(cs)
+	byName(gs)
+	byName(hs)
+
+	out := make([]SnapshotEntry, 0, len(cs)+len(gs)+len(hs))
+	for _, e := range cs {
+		out = append(out, SnapshotEntry{Name: e.name, Kind: "counter", Value: float64(e.c.Value())})
+	}
+	for _, e := range gs {
+		out = append(out, SnapshotEntry{Name: e.name, Kind: "gauge", Value: e.g.Value()})
+	}
+	for _, e := range hs {
+		out = append(out, SnapshotEntry{Name: e.name, Kind: "histogram", Hist: e.h.Stats(), Buckets: e.h.Buckets()})
+	}
+	return out
+}
+
 // Dump writes every instrument in deterministic (sorted) order, one line
 // each. Nil-safe.
 func (r *Registry) Dump(w io.Writer) {
-	if r == nil {
-		return
-	}
-	r.mu.Lock()
-	type hist struct {
-		name string
-		h    *Histogram
-	}
-	var (
-		cnames []string
-		gnames []string
-		hs     []hist
-	)
-	for n := range r.counters {
-		cnames = append(cnames, n)
-	}
-	for n := range r.gauges {
-		gnames = append(gnames, n)
-	}
-	for n, h := range r.histograms {
-		hs = append(hs, hist{n, h})
-	}
-	counters, gauges := r.counters, r.gauges
-	r.mu.Unlock()
-
-	sort.Strings(cnames)
-	sort.Strings(gnames)
-	sort.Slice(hs, func(i, j int) bool { return hs[i].name < hs[j].name })
-	for _, n := range cnames {
-		fmt.Fprintf(w, "counter %-32s %d\n", n, counters[n].Value())
-	}
-	for _, n := range gnames {
-		fmt.Fprintf(w, "gauge   %-32s %g\n", n, gauges[n].Value())
-	}
-	for _, e := range hs {
-		s := e.h.Stats()
-		fmt.Fprintf(w, "hist    %-32s count=%d mean=%.4g min=%.4g p50≤%.4g p95≤%.4g max=%.4g\n",
-			e.name, s.Count, s.Mean, s.Min, s.P50, s.P95, s.Max)
+	for _, e := range r.Snapshot() {
+		switch e.Kind {
+		case "counter":
+			fmt.Fprintf(w, "counter %-32s %d\n", e.Name, int64(e.Value))
+		case "gauge":
+			fmt.Fprintf(w, "gauge   %-32s %g\n", e.Name, e.Value)
+		case "histogram":
+			s := e.Hist
+			fmt.Fprintf(w, "hist    %-32s count=%d mean=%.4g min=%.4g p50≤%.4g p95≤%.4g max=%.4g\n",
+				e.Name, s.Count, s.Mean, s.Min, s.P50, s.P95, s.Max)
+		}
 	}
 }

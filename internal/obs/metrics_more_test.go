@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	var h *Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram Quantile = %g, want 0", got)
+	}
+	h = &Histogram{}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram Quantile = %g, want 0", got)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(1.0) // the [1, 2) bucket, reported as its upper bound 2
+	}
+	h.Observe(100.0) // one outlier in [64, 128)
+	if p50 := h.Quantile(0.50); p50 != 2.0 {
+		t.Errorf("p50 = %g, want bucket bound 2", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 != 2.0 {
+		t.Errorf("p99 = %g, want 2 (outlier is the 101st of 101)", p99)
+	}
+	if p100 := h.Quantile(1.0); p100 != 128.0 {
+		t.Errorf("p100 = %g, want outlier bucket bound 128", p100)
+	}
+	if over := h.Quantile(7); over != h.Quantile(1) {
+		t.Errorf("Quantile(7) = %g, want clamp to Quantile(1) = %g", over, h.Quantile(1))
+	}
+	// Quantiles are monotone in p.
+	prev := 0.0
+	for p := 0.1; p <= 1.0; p += 0.1 {
+		q := h.Quantile(p)
+		if q < prev {
+			t.Errorf("Quantile(%g) = %g < Quantile(%g) = %g", p, q, p-0.1, prev)
+		}
+		prev = q
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h *Histogram
+	if got := h.Buckets(); got != nil {
+		t.Errorf("nil histogram Buckets = %v", got)
+	}
+	h = &Histogram{}
+	h.Observe(0.75) // (0.5, 1]
+	h.Observe(0.75)
+	h.Observe(3.0) // (2, 4]
+	bs := h.Buckets()
+	if len(bs) != 2 {
+		t.Fatalf("got %d non-empty buckets, want 2: %v", len(bs), bs)
+	}
+	if bs[0].UpperBound != 1.0 || bs[0].Count != 2 {
+		t.Errorf("bucket[0] = %+v, want le=1 count=2", bs[0])
+	}
+	if bs[1].UpperBound != 4.0 || bs[1].Count != 1 {
+		t.Errorf("bucket[1] = %+v, want le=4 count=1", bs[1])
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	var reg *Registry
+	if got := reg.Snapshot(); got != nil {
+		t.Errorf("nil registry Snapshot = %v", got)
+	}
+	reg = NewRegistry()
+	// Register in scrambled order; Snapshot must come back grouped by kind
+	// (counters, gauges, histograms) and name-sorted within each group.
+	reg.Gauge("z.gauge").Set(1)
+	reg.Counter("b.counter").Inc()
+	reg.Histogram("m.hist").Observe(1)
+	reg.Counter("a.counter").Inc()
+	reg.Gauge("a.gauge").Set(2)
+	reg.Histogram("a.hist").Observe(2)
+
+	var got []string
+	for _, e := range reg.Snapshot() {
+		got = append(got, e.Kind+":"+e.Name)
+	}
+	want := []string{
+		"counter:a.counter", "counter:b.counter",
+		"gauge:a.gauge", "gauge:z.gauge",
+		"histogram:a.hist", "histogram:m.hist",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("snapshot = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("snapshot[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	// A histogram entry carries both stats and buckets.
+	for _, e := range reg.Snapshot() {
+		if e.Kind == "histogram" {
+			if e.Hist.Count != 1 || len(e.Buckets) != 1 {
+				t.Errorf("%s: hist=%+v buckets=%v", e.Name, e.Hist, e.Buckets)
+			}
+		}
+	}
+}
+
+func TestDumpMatchesSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c").Add(5)
+	reg.Gauge("g").Set(2.5)
+	reg.Histogram("h").Observe(1)
+	var sb strings.Builder
+	reg.Dump(&sb)
+	out := sb.String()
+	for _, want := range []string{"counter", "gauge", "hist"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "counter") > strings.Index(out, "gauge") {
+		t.Errorf("dump not in snapshot order:\n%s", out)
+	}
+}
+
+// TestConcurrentRegistryAndTracer hammers one registry and one shared sink
+// from many goroutines; run with -race it proves the metrics and span paths
+// are safe for the live telemetry server to read mid-campaign.
+func TestConcurrentRegistryAndTracer(t *testing.T) {
+	reg := NewRegistry()
+	ring := NewTraceRing(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				reg.Counter("c.shared").Inc()
+				reg.Counter(fmt.Sprintf("c.%d", g)).Inc()
+				reg.Gauge("g.shared").Set(float64(i))
+				reg.Histogram("h.shared").Observe(float64(i % 7))
+				tr := NewTracer(ring)
+				root := tr.Start(KQuery, "q")
+				tr.Start(KScan, "t").End()
+				root.End()
+			}
+		}(g)
+	}
+	// Concurrent readers: the HTTP handlers call exactly these.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				for _, e := range reg.Snapshot() {
+					if e.Kind == "histogram" && e.Hist.Count > 0 &&
+						(math.IsNaN(e.Hist.Mean) || e.Hist.P50 < 0) {
+						t.Errorf("torn histogram stats: %+v", e.Hist)
+						return
+					}
+				}
+				reg.Histogram("h.shared").Quantile(0.99)
+				ring.Recent()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("c.shared").Value(); got != 8*200 {
+		t.Errorf("c.shared = %d, want %d", got, 8*200)
+	}
+	if got := reg.Histogram("h.shared").Stats().Count; got != 8*200 {
+		t.Errorf("h.shared count = %d, want %d", got, 8*200)
+	}
+}

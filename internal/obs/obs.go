@@ -21,6 +21,7 @@ package obs
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -54,6 +55,20 @@ const (
 	// KCollect is one offline/online statistics-collection pass (On-Demand
 	// scans, Sampling passes).
 	KCollect = "collect"
+	// KJoin is the umbrella span of one join node of an executed tree: it
+	// covers the execution of both children and the join phases
+	// (hash-build/hash-probe or nested-loop), so the span tree reproduces the
+	// plan tree — materialize → join → {child operators, phases}.
+	KJoin = "join"
+	// KPlanShard is one shard of a root-parallel MCTS search, parented to the
+	// KPlan span that fanned it out. Shard count is derived from the rollout
+	// budget alone, so shard-span counts are machine-independent.
+	KPlanShard = "plan-shard"
+	// KWorker is one worker of a parallel operator fan-out, parented to the
+	// operator span. Worker counts depend on GOMAXPROCS, so — unlike every
+	// other kind — KWorker span counts are machine-dependent; trace-diff
+	// tooling excludes them from count comparisons by default.
+	KWorker = "worker"
 )
 
 // AttrCacheHit is the string attribute set on KPlan spans when a plan cache
@@ -69,16 +84,23 @@ const AttrCacheHit = "cache_hit"
 // count picks byte-identical plans.
 const AttrPlanWorkers = "plan_workers"
 
-// Span is one timed region. IDs are unique within a Tracer; Parent is 0 for
-// the root. Rows and Produced carry the operator's data flow: rows consumed,
-// rows emitted, and objects charged against the engine.Budget (the §4.4
-// cost). Num and Str hold kind-specific attributes (MCTS rollouts, plan
-// strings, estimate/actual cardinalities, ...). Attribute setters and End are
-// mutex-guarded, so engine workers may annotate a span concurrently; after
-// End the span is owned by the sink and must not be mutated.
+// Span is one timed region. IDs are deterministic: they are assigned in
+// Start/StartChild call order, and because spans are only ever opened by the
+// coordinating goroutine (worker and shard spans are pre-created before
+// fan-out and ended by the coordinator in index order), a repeated run
+// assigns the same IDs to the same spans. Parent is 0 for the root; Trace
+// identifies the Tracer (one query run) the span belongs to, so sinks shared
+// across runs can group spans back into per-query trees. Rows and Produced
+// carry the operator's data flow: rows consumed, rows emitted, and objects
+// charged against the engine.Budget (the §4.4 cost). Num and Str hold
+// kind-specific attributes (MCTS rollouts, plan strings, estimate/actual
+// cardinalities, ...). Attribute setters and End are mutex-guarded, so engine
+// workers may annotate a span concurrently; after End the span is owned by
+// the sink and must not be mutated.
 type Span struct {
 	ID       int                `json:"id"`
 	Parent   int                `json:"parent,omitempty"`
+	Trace    int64              `json:"trace,omitempty"`
 	Kind     string             `json:"kind"`
 	Name     string             `json:"name"`
 	Start    time.Time          `json:"start"`
@@ -147,7 +169,23 @@ func (sp *Span) SetStr(key, v string) *Span {
 // End stamps the duration and emits the span to the sink. Nil-safe and
 // idempotent. Spans opened under this one and never ended (error paths) are
 // silently discarded to keep the parent chain consistent.
-func (sp *Span) End() {
+func (sp *Span) End() { sp.endWith(-1) }
+
+// EndIn ends the span with an explicitly measured duration instead of the
+// wall time since Start. Pre-created worker spans use it: the coordinator
+// opens them before fan-out (keeping IDs deterministic), each worker records
+// its own busy time, and the coordinator ends them in index order (keeping
+// emission order deterministic) with the measured duration. Nil-safe and
+// idempotent.
+func (sp *Span) EndIn(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	sp.endWith(d)
+}
+
+// endWith implements End/EndIn; d < 0 means "stamp time.Since(Start)".
+func (sp *Span) endWith(d time.Duration) {
 	if sp == nil {
 		return
 	}
@@ -158,10 +196,15 @@ func (sp *Span) End() {
 		sp.mu.Unlock()
 		return
 	}
-	sp.Dur = time.Since(sp.Start)
+	if d < 0 {
+		d = time.Since(sp.Start)
+	}
+	sp.Dur = d
 	sp.mu.Unlock()
 	t.mu.Lock()
 	// Pop this span (and any abandoned children above it) off the stack.
+	// Spans opened with an explicit parent never joined the stack, so the
+	// loop simply finds nothing for them.
 	for i := len(t.stack) - 1; i >= 0; i-- {
 		if t.stack[i] == sp.ID {
 			t.stack = t.stack[:i]
@@ -248,9 +291,16 @@ type EventSink interface {
 type Tracer struct {
 	mu    sync.Mutex
 	sink  EventSink
+	id    int64
 	next  int
 	stack []int
 }
+
+// traceIDs numbers Tracers process-wide so sinks shared across runs (JSONL
+// files, the TraceRing) can group spans back into per-query trees. Sequential
+// runs get sequential IDs; concurrently created tracers get unique but
+// scheduler-ordered ones.
+var traceIDs atomic.Int64
 
 // emit delivers one event to the sink under the tracer's lock, serializing
 // concurrent emitters.
@@ -265,24 +315,54 @@ func NewTracer(sink EventSink) *Tracer {
 	if sink == nil {
 		return nil
 	}
-	return &Tracer{sink: sink}
+	return &Tracer{sink: sink, id: traceIDs.Add(1)}
 }
 
 // Active reports whether events are being collected.
 func (t *Tracer) Active() bool { return t != nil }
 
-// Start opens a span under the currently open span. Nil-safe.
+// TraceID reports the tracer's process-unique run identifier (0 when
+// disabled), the value stamped into every span's Trace field.
+func (t *Tracer) TraceID() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.id
+}
+
+// Start opens a span under the currently open span (the ambient stack — the
+// coordinating goroutine's strictly nested call tree). Nil-safe.
 func (t *Tracer) Start(kind, name string) *Span {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	t.next++
-	sp := &Span{ID: t.next, Kind: kind, Name: name, Start: time.Now(), tr: t}
+	sp := &Span{ID: t.next, Trace: t.id, Kind: kind, Name: name, Start: time.Now(), tr: t}
 	if len(t.stack) > 0 {
 		sp.Parent = t.stack[len(t.stack)-1]
 	}
 	t.stack = append(t.stack, sp.ID)
+	t.mu.Unlock()
+	return sp
+}
+
+// StartChild opens a span under an explicit parent, bypassing the ambient
+// stack — the instrumented layers use it to reproduce a structural tree (the
+// plan tree's join nodes, an operator's worker fan-out, a search's shards)
+// rather than the coordinator's call nesting. The child does not join the
+// stack, so spans opened ambiently while it is live are unaffected. A nil
+// parent falls back to Start's ambient behavior. Nil-safe.
+func (t *Tracer) StartChild(parent *Span, kind, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	if parent == nil {
+		return t.Start(kind, name)
+	}
+	t.mu.Lock()
+	t.next++
+	sp := &Span{ID: t.next, Parent: parent.ID, Trace: t.id, Kind: kind, Name: name, Start: time.Now(), tr: t}
 	t.mu.Unlock()
 	return sp
 }

@@ -1,0 +1,136 @@
+// Package obshttp serves the obs layer over HTTP with nothing but the
+// standard library: a /debug/vars-style JSON snapshot of the metrics
+// Registry, a Prometheus text-exposition /metrics endpoint, and
+// /traces/recent serving the span trees of recently completed queries. The
+// handler set is designed to be mounted as-is by the future monsoond daemon;
+// today both CLIs expose it behind -obs-addr so long benchmark campaigns can
+// be watched live.
+package obshttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+
+	"monsoon/internal/obs"
+)
+
+// Handler returns a mux serving the telemetry routes:
+//
+//	/debug/vars    JSON snapshot of the registry, deterministically ordered
+//	/metrics       Prometheus text exposition (version 0.0.4)
+//	/traces/recent JSON array of recent query span trees, newest first
+//
+// Either argument may be nil: the corresponding routes serve empty (but
+// well-formed) documents.
+func Handler(reg *obs.Registry, ring *obs.TraceRing) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		writeVars(w, reg)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, reg)
+	})
+	mux.HandleFunc("/traces/recent", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		var recent []*obs.RecentTrace
+		if ring != nil {
+			recent = ring.Recent()
+		}
+		if recent == nil {
+			recent = []*obs.RecentTrace{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(recent)
+	})
+	return mux
+}
+
+// Serve listens on addr and serves Handler(reg, ring) until the process
+// exits, returning the bound address (useful with ":0"). The listener is
+// created synchronously so a bad address fails fast; serving happens on a
+// background goroutine — telemetry must never block a query.
+func Serve(addr string, reg *obs.Registry, ring *obs.TraceRing) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: Handler(reg, ring)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// writeVars renders the registry as a single JSON object. Key order follows
+// Registry.Snapshot (counters, gauges, histograms; each sorted by name) —
+// json.Marshal of a map would destroy that, so the document is built by hand.
+func writeVars(w http.ResponseWriter, reg *obs.Registry) {
+	snap := reg.Snapshot()
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, e := range snap {
+		if i > 0 {
+			b.WriteString(",\n")
+		}
+		key, _ := json.Marshal(e.Name)
+		b.Write(key)
+		b.WriteString(": ")
+		switch e.Kind {
+		case "counter":
+			fmt.Fprintf(&b, "%d", int64(e.Value))
+		case "gauge":
+			fmt.Fprintf(&b, "%g", e.Value)
+		case "histogram":
+			s := e.Hist
+			fmt.Fprintf(&b,
+				`{"count": %d, "sum": %g, "min": %g, "max": %g, "mean": %g, "p50": %g, "p95": %g, "p99": %g}`,
+				s.Count, s.Sum, s.Min, s.Max, s.Mean, s.P50, s.P95, s.P99)
+		}
+	}
+	b.WriteString("\n}\n")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format: counters as `# TYPE <name> counter`, gauges as gauges, histograms
+// as cumulative `_bucket{le="..."}` series plus `_sum` and `_count`. Metric
+// names are sanitized (dots and dashes become underscores). Output order is
+// Snapshot order, so the exposition is deterministic and golden-testable.
+func WritePrometheus(w io.Writer, reg *obs.Registry) {
+	for _, e := range reg.Snapshot() {
+		name := sanitize(e.Name)
+		switch e.Kind {
+		case "counter":
+			fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, int64(e.Value))
+		case "gauge":
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, e.Value)
+		case "histogram":
+			fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+			var cum int64
+			for _, b := range e.Buckets {
+				cum += b.Count
+				fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, b.UpperBound, cum)
+			}
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, e.Hist.Count)
+			fmt.Fprintf(w, "%s_sum %g\n", name, e.Hist.Sum)
+			fmt.Fprintf(w, "%s_count %d\n", name, e.Hist.Count)
+		}
+	}
+}
+
+// sanitize maps a registry name onto the Prometheus metric-name alphabet
+// [a-zA-Z0-9_:]: anything else becomes an underscore.
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			return r
+		}
+		return '_'
+	}, name)
+}

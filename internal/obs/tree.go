@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SpanNode is one node of an assembled span tree: the completed span plus its
+// children in span-ID order (the deterministic creation order).
+type SpanNode struct {
+	*Span
+	Children []*SpanNode
+}
+
+// MarshalJSON renders the node as {"span": ..., "children": [...]}, the shape
+// /traces/recent serves.
+func (n *SpanNode) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Span     *Span       `json:"span"`
+		Children []*SpanNode `json:"children,omitempty"`
+	}{n.Span, n.Children})
+}
+
+// Self is the span's self time: its duration minus the duration of its
+// children, clamped at zero. For worker fan-outs children overlap in wall
+// time, so an operator's Self can legitimately clamp — the per-worker busy
+// durations sum past the operator's wall time.
+func (n *SpanNode) Self() time.Duration {
+	d := n.Dur
+	for _, c := range n.Children {
+		d -= c.Dur
+	}
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Walk visits the node and its descendants depth-first in child order.
+func (n *SpanNode) Walk(fn func(node *SpanNode, depth int)) {
+	n.walk(fn, 0)
+}
+
+func (n *SpanNode) walk(fn func(*SpanNode, int), depth int) {
+	fn(n, depth)
+	for _, c := range n.Children {
+		c.walk(fn, depth+1)
+	}
+}
+
+// BuildSpanTree assembles completed spans (one trace's worth — the caller
+// groups by Trace ID when mixing runs) into trees: children attach to their
+// Parent ID, roots are spans whose parent was never emitted (normally just
+// the Parent == 0 query span). Roots and children are ordered by span ID, so
+// the tree is deterministic regardless of emission order.
+func BuildSpanTree(spans []*Span) []*SpanNode {
+	nodes := make(map[int]*SpanNode, len(spans))
+	for _, sp := range spans {
+		nodes[sp.ID] = &SpanNode{Span: sp}
+	}
+	var roots []*SpanNode
+	for _, sp := range spans {
+		n := nodes[sp.ID]
+		if p, ok := nodes[sp.Parent]; ok && sp.Parent != sp.ID {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	byID := func(ns []*SpanNode) {
+		sort.Slice(ns, func(i, j int) bool { return ns[i].ID < ns[j].ID })
+	}
+	byID(roots)
+	for _, n := range nodes {
+		byID(n.Children)
+	}
+	return roots
+}
+
+// OperatorTimes walks assembled span trees and returns, per plan-node
+// expression key (the "expr" attribute the engine stamps on scan, reuse,
+// join, and materialize spans), the inclusive wall time and the self time of
+// the span that executed it. When a key was executed more than once (reused
+// expressions, multi-round trees), the later span wins — matching how
+// EXPLAIN ANALYZE's estimate and actual maps are accumulated.
+func OperatorTimes(roots []*SpanNode) (incl, self map[string]time.Duration) {
+	incl = make(map[string]time.Duration)
+	self = make(map[string]time.Duration)
+	for _, r := range roots {
+		r.Walk(func(n *SpanNode, _ int) {
+			key := n.Str["expr"]
+			if key == "" {
+				return
+			}
+			switch n.Kind {
+			case KScan, KReuse, KJoin, KNestedLoop:
+				incl[key] = n.Dur
+				self[key] = n.Self()
+			}
+		})
+	}
+	return incl, self
+}
+
+// RecentTrace is one completed query span tree retained by a TraceRing.
+type RecentTrace struct {
+	// Trace is the run's Tracer ID.
+	Trace int64 `json:"trace"`
+	// Query is the root span's name (the query name).
+	Query string `json:"query"`
+	// Start and Dur are the root span's timing.
+	Start time.Time     `json:"start"`
+	Dur   time.Duration `json:"dur_ns"`
+	// Spans is the total number of spans in the tree.
+	Spans int `json:"spans"`
+	// Root is the assembled tree rooted at the query span.
+	Root *SpanNode `json:"root"`
+}
+
+// TraceRing is an EventSink retaining the span trees of the last N completed
+// query runs — the data /traces/recent serves. Spans accumulate per Trace ID
+// until the run's root (Parent == 0) span completes, at which point the tree
+// is assembled and pushed into the ring, evicting the oldest. Runs that never
+// complete a root span are bounded too: when more than 4·N runs are pending,
+// the lowest-numbered one is dropped. Safe for concurrent use by sessions
+// sharing the sink.
+type TraceRing struct {
+	mu      sync.Mutex
+	cap     int
+	pending map[int64][]*Span
+	recent  []*RecentTrace // newest last
+}
+
+// NewTraceRing creates a ring retaining the last n completed traces (n <= 0
+// defaults to 64).
+func NewTraceRing(n int) *TraceRing {
+	if n <= 0 {
+		n = 64
+	}
+	return &TraceRing{cap: n, pending: make(map[int64][]*Span)}
+}
+
+// Emit implements EventSink: spans are grouped by Trace ID; messages and
+// estimates pass through untouched (the ring retains structure, not logs).
+func (r *TraceRing) Emit(ev Event) {
+	if ev.Type != EvSpan {
+		return
+	}
+	sp := ev.Span
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pending[sp.Trace] = append(r.pending[sp.Trace], sp)
+	if sp.Parent != 0 {
+		if len(r.pending) > 4*r.cap {
+			r.dropOldestPendingLocked()
+		}
+		return
+	}
+	spans := r.pending[sp.Trace]
+	delete(r.pending, sp.Trace)
+	roots := BuildSpanTree(spans)
+	if len(roots) == 0 {
+		return
+	}
+	rt := &RecentTrace{
+		Trace: sp.Trace, Query: sp.Name, Start: sp.Start, Dur: sp.Dur,
+		Spans: len(spans), Root: roots[0],
+	}
+	r.recent = append(r.recent, rt)
+	if len(r.recent) > r.cap {
+		r.recent = r.recent[len(r.recent)-r.cap:]
+	}
+}
+
+func (r *TraceRing) dropOldestPendingLocked() {
+	var oldest int64 = -1
+	for id := range r.pending {
+		if oldest < 0 || id < oldest {
+			oldest = id
+		}
+	}
+	if oldest >= 0 {
+		delete(r.pending, oldest)
+	}
+}
+
+// Recent returns the retained traces, newest first.
+func (r *TraceRing) Recent() []*RecentTrace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*RecentTrace, len(r.recent))
+	for i, rt := range r.recent {
+		out[len(out)-1-i] = rt
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBuildSpanTreeAndSelfTime(t *testing.T) {
+	col := &Collector{}
+	tr := NewTracer(col)
+	root := tr.Start(KQuery, "q")
+	join := tr.Start(KJoin, "a⋈b").SetStr("expr", "a⋈b")
+	build := tr.Start(KHashBuild, "a⋈b")
+	time.Sleep(time.Millisecond)
+	build.End()
+	probe := tr.Start(KHashProbe, "a⋈b")
+	probe.End()
+	join.End()
+	root.End()
+
+	roots := BuildSpanTree(col.Spans)
+	if len(roots) != 1 {
+		t.Fatalf("got %d roots, want 1", len(roots))
+	}
+	q := roots[0]
+	if q.Kind != KQuery || len(q.Children) != 1 {
+		t.Fatalf("root = %s with %d children", q.Kind, len(q.Children))
+	}
+	j := q.Children[0]
+	if j.Kind != KJoin || len(j.Children) != 2 {
+		t.Fatalf("join node = %s with %d children", j.Kind, len(j.Children))
+	}
+	// Children in span-ID (creation) order: build before probe.
+	if j.Children[0].Kind != KHashBuild || j.Children[1].Kind != KHashProbe {
+		t.Errorf("child order: %s, %s", j.Children[0].Kind, j.Children[1].Kind)
+	}
+	// Self = own duration minus children, never negative.
+	if self := j.Self(); self < 0 || self > j.Dur {
+		t.Errorf("join self %v outside [0, %v]", self, j.Dur)
+	}
+	if self := q.Self(); self != q.Dur-j.Dur {
+		t.Errorf("query self %v, want %v", self, q.Dur-j.Dur)
+	}
+
+	var walked []string
+	q.Walk(func(n *SpanNode, depth int) {
+		walked = append(walked, fmt.Sprintf("%d:%s", depth, n.Kind))
+	})
+	want := []string{"0:query", "1:join", "2:hash-build", "2:hash-probe"}
+	if len(walked) != len(want) {
+		t.Fatalf("walk = %v", walked)
+	}
+	for i := range want {
+		if walked[i] != want[i] {
+			t.Errorf("walk[%d] = %s, want %s", i, walked[i], want[i])
+		}
+	}
+}
+
+func TestSelfTimeClampsOverlappingWorkers(t *testing.T) {
+	// Worker busy times overlap in wall time, so their sum can exceed the
+	// operator's duration; Self must clamp at zero rather than go negative.
+	op := &SpanNode{Span: &Span{ID: 1, Dur: 10 * time.Millisecond}}
+	for i := 0; i < 4; i++ {
+		op.Children = append(op.Children,
+			&SpanNode{Span: &Span{ID: 2 + i, Kind: KWorker, Dur: 9 * time.Millisecond}})
+	}
+	if self := op.Self(); self != 0 {
+		t.Errorf("self = %v, want 0 (clamped)", self)
+	}
+}
+
+func TestOperatorTimesKeysByExpr(t *testing.T) {
+	col := &Collector{}
+	tr := NewTracer(col)
+	root := tr.Start(KQuery, "q")
+	scan := tr.Start(KScan, "t1").SetStr("expr", "t1")
+	scan.End()
+	join := tr.Start(KJoin, "t1⋈t2").SetStr("expr", "t1⋈t2")
+	phase := tr.Start(KHashBuild, "t1⋈t2") // no expr: phases must not leak in
+	phase.End()
+	join.End()
+	root.End()
+
+	incl, self := OperatorTimes(BuildSpanTree(col.Spans))
+	if len(incl) != 2 {
+		t.Fatalf("incl keys = %v, want t1 and t1⋈t2", incl)
+	}
+	if incl["t1⋈t2"] <= 0 || self["t1⋈t2"] > incl["t1⋈t2"] {
+		t.Errorf("join incl=%v self=%v", incl["t1⋈t2"], self["t1⋈t2"])
+	}
+	if _, ok := incl[""]; ok {
+		t.Error("expr-less span keyed into OperatorTimes")
+	}
+}
+
+func TestTraceRingRetainsNewestFirst(t *testing.T) {
+	ring := NewTraceRing(2)
+	for i := 0; i < 3; i++ {
+		tr := NewTracer(ring)
+		root := tr.Start(KQuery, fmt.Sprintf("q%d", i))
+		child := tr.Start(KScan, "t")
+		child.End()
+		root.End()
+	}
+	recent := ring.Recent()
+	if len(recent) != 2 {
+		t.Fatalf("ring holds %d traces, want 2 (capacity)", len(recent))
+	}
+	if recent[0].Query != "q2" || recent[1].Query != "q1" {
+		t.Errorf("order = %s, %s; want q2 then q1 (newest first, q0 evicted)",
+			recent[0].Query, recent[1].Query)
+	}
+	if recent[0].Spans != 2 || recent[0].Root == nil || recent[0].Root.Kind != KQuery {
+		t.Errorf("trace shape = %+v", recent[0])
+	}
+}
+
+func TestTraceRingBoundsPendingRuns(t *testing.T) {
+	ring := NewTraceRing(1) // pending bound = 4
+	for i := 0; i < 16; i++ {
+		tr := NewTracer(ring)
+		sp := tr.Start(KQuery, "never-finishes")
+		child := tr.Start(KScan, "t")
+		child.End() // emits a span with Parent != 0, creating a pending run
+		_ = sp      // root never ends
+	}
+	ring.mu.Lock()
+	pending := len(ring.pending)
+	ring.mu.Unlock()
+	if pending > 4 {
+		t.Errorf("%d pending runs retained, want <= 4·cap", pending)
+	}
+	if got := ring.Recent(); len(got) != 0 {
+		t.Errorf("incomplete runs surfaced: %d", len(got))
+	}
+}
+
+func TestTraceRingConcurrentSessions(t *testing.T) {
+	ring := NewTraceRing(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tr := NewTracer(ring)
+				root := tr.Start(KQuery, fmt.Sprintf("g%d-q%d", g, i))
+				child := tr.Start(KScan, "t")
+				child.End()
+				root.End()
+				ring.Recent()
+			}
+		}(g)
+	}
+	wg.Wait()
+	recent := ring.Recent()
+	if len(recent) != 8 {
+		t.Fatalf("ring holds %d traces, want 8", len(recent))
+	}
+	for _, rt := range recent {
+		if rt.Spans != 2 {
+			t.Errorf("%s: %d spans, want 2 (cross-session span mixing?)", rt.Query, rt.Spans)
+		}
+	}
+}
