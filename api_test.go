@@ -88,6 +88,31 @@ func TestRunStrategiesAgree(t *testing.T) {
 	}
 }
 
+// TestWithBatchSizeIdentical pins the streaming≡materialized guarantee at
+// the public API: WithBatchSize only bounds pipeline memory, so every
+// setting — row-at-a-time, an awkward prime, the default, and the negative
+// materialized sentinel — must return the same report.
+func TestWithBatchSizeIdentical(t *testing.T) {
+	run := func(batch int) *Report {
+		rep, err := Run(buildQuery(), buildWorld(), WithSeed(5), WithIterations(150), WithBatchSize(batch))
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		return rep
+	}
+	ref := run(-1)
+	for _, batch := range []int{1, 7, 4096, 0} {
+		rep := run(batch)
+		if rep.Rows != ref.Rows || rep.Value != ref.Value || rep.Produced != ref.Produced {
+			t.Errorf("batch %d: rows/value/produced %d/%g/%g, materialized %d/%g/%g",
+				batch, rep.Rows, rep.Value, rep.Produced, ref.Rows, ref.Value, ref.Produced)
+		}
+		if !reflect.DeepEqual(rep.Output.Rows, ref.Output.Rows) {
+			t.Errorf("batch %d: output rows differ from materialized", batch)
+		}
+	}
+}
+
 func TestRunBudgets(t *testing.T) {
 	cat := buildWorld()
 	if _, err := Run(buildQuery(), cat, WithSeed(2), WithMaxTuples(10)); !errors.Is(err, ErrBudget) {

@@ -183,9 +183,14 @@ func largeJoinFixture() (*table.Catalog, *query.Query, *plan.Node) {
 }
 
 func benchLargeJoin(b *testing.B, parallelism int) {
+	benchLargeJoinAt(b, parallelism, 0)
+}
+
+func benchLargeJoinAt(b *testing.B, parallelism, batchSize int) {
 	cat, q, tree := largeJoinFixture()
 	eng := engine.New(cat)
 	eng.Parallelism = parallelism
+	eng.BatchSize = batchSize
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rel, _, err := eng.ExecTree(q, tree, &engine.Budget{})
@@ -204,6 +209,16 @@ func benchLargeJoin(b *testing.B, parallelism int) {
 // delta is pure probe-side speedup from the partitioned parallel path.
 func BenchmarkLargeJoinSerial(b *testing.B)   { benchLargeJoin(b, 1) }
 func BenchmarkLargeJoinParallel(b *testing.B) { benchLargeJoin(b, 0) }
+
+// BenchmarkExecStreaming / BenchmarkExecMaterialized contrast the two
+// execution modes on the same 400k-row join, serial so the pipeline itself is
+// what's measured: default 4096-row batches flowing through the operators
+// versus the negative sentinel that materializes every intermediate in full.
+// Both produce bit-identical relations (TestStreamingMatchesMaterialized);
+// the deltas of interest are allocation volume and peak heap — run with
+// -benchmem, or see the `monsoon-bench -exp memory` study in EXPERIMENTS.md.
+func BenchmarkExecStreaming(b *testing.B)    { benchLargeJoinAt(b, 1, 4096) }
+func BenchmarkExecMaterialized(b *testing.B) { benchLargeJoinAt(b, 1, -1) }
 
 // benchPlanPhase measures the cold-cache plan phase alone on the small
 // campaign's TPC-H workload (the suite recorded in campaign_small.txt): every

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	monsoon-bench [-scale tiny|small|medium] [-exp all|table1|table2|...|figure3|plancache] [-seed N] [-parallelism N] [-plan-parallelism N] [-plan-cache] [-v] [-metrics] [-obs-addr ADDR] [-obs-linger DUR] [-trace-json FILE] [-cpuprofile FILE] [-memprofile FILE]
+//	monsoon-bench [-scale tiny|small|medium] [-exp all|table1|table2|...|figure3|plancache|memory] [-seed N] [-parallelism N] [-batch-size N] [-plan-parallelism N] [-plan-cache] [-v] [-metrics] [-obs-addr ADDR] [-obs-linger DUR] [-trace-json FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // Output goes to stdout; progress (with -v) and the -metrics dump to stderr.
 // With -trace-json, every Monsoon run of the campaign streams its structured
@@ -31,9 +31,10 @@ import (
 
 func main() {
 	scaleName := flag.String("scale", "small", "campaign scale: tiny, small, or medium")
-	exp := flag.String("exp", "all", "experiment: all, table1..table8, figure1..figure3, ablation, estimates, plancache, tracecorpus")
+	exp := flag.String("exp", "all", "experiment: all, table1..table8, figure1..figure3, ablation, estimates, plancache, memory, tracecorpus")
 	seed := flag.Int64("seed", 1, "master seed")
 	par := flag.Int("parallelism", 0, "engine worker count: 0 = all cores, 1 = serial (results are identical either way)")
+	batchSize := flag.Int("batch-size", 0, "engine pipeline batch size: 0 = default (4096), negative = unbounded/materialized (results are identical at any size)")
 	planPar := flag.Int("plan-parallelism", 0, "MCTS planner thread count: 0 = all cores, 1 = serial (plans are identical either way)")
 	verbose := flag.Bool("v", false, "print per-query progress to stderr")
 	metrics := flag.Bool("metrics", false, "dump the campaign's accumulated Monsoon metrics to stderr on exit")
@@ -88,6 +89,7 @@ func main() {
 	}
 	sc.Seed = *seed
 	sc.Parallelism = *par
+	sc.BatchSize = *batchSize
 	sc.PlanParallelism = *planPar
 	sc.PlanCache = *planCache
 
@@ -158,6 +160,7 @@ func main() {
 		{name: "ablation", run: func() error { return r.Ablation(w) }},
 		{name: "estimates", run: func() error { return r.Estimates(w) }},
 		{name: "plancache", run: func() error { return r.PlanCacheStudy(w) }},
+		{name: "memory", run: func() error { return r.MemoryStudy(w) }, onlyExplicit: true},
 		{name: "tracecorpus", run: func() error { return r.TraceCorpus(w) }, onlyExplicit: true},
 	}
 	ran := false

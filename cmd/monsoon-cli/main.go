@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	monsoon-cli -bench tpch|imdb|ott|udf [-query NAME] [-opt monsoon|postgres|defaults|greedy|ondemand|sampling|skinner] [-prior NAME] [-scale tiny|small|medium] [-seed N] [-parallelism N] [-plan-parallelism N] [-plan-cache] [-repeat N] [-trace-json FILE] [-metrics]
+//	monsoon-cli -bench tpch|imdb|ott|udf [-query NAME] [-opt monsoon|postgres|defaults|greedy|ondemand|sampling|skinner] [-prior NAME] [-scale tiny|small|medium] [-seed N] [-parallelism N] [-batch-size N] [-plan-parallelism N] [-plan-cache] [-repeat N] [-trace-json FILE] [-metrics]
 //
 // Without -query, the available query names for the benchmark are listed.
 package main
@@ -42,6 +42,7 @@ func main() {
 	scaleName := flag.String("scale", "tiny", "data scale: tiny, small, or medium")
 	seed := flag.Int64("seed", 1, "seed")
 	par := flag.Int("parallelism", 0, "engine worker count: 0 = all cores, 1 = serial (results are identical either way)")
+	batchSize := flag.Int("batch-size", 0, "engine pipeline batch size: 0 = default (4096), negative = unbounded/materialized (results are identical at any size)")
 	planPar := flag.Int("plan-parallelism", 0, "MCTS planner thread count: 0 = all cores, 1 = serial (plans are identical either way; monsoon only)")
 	explain := flag.Bool("explain", false, "print the chosen plan with estimates and actuals (postgres, defaults, greedy)")
 	traceJSON := flag.String("trace-json", "", "write the structured trace (spans, messages, estimates) as JSON lines to FILE")
@@ -64,6 +65,7 @@ func main() {
 	}
 	sc.Seed = *seed
 	sc.Parallelism = *par
+	sc.BatchSize = *batchSize
 	sc.PlanParallelism = *planPar
 
 	specs := loadSpecs(*benchName, sc)
@@ -166,21 +168,21 @@ func loadSpecs(bench string, sc harness.Scale) []harness.QuerySpec {
 func pickOption(name string, sc harness.Scale, sink obs.EventSink) harness.Option {
 	switch name {
 	case "postgres":
-		return harness.Postgres{Parallelism: sc.Parallelism}
+		return harness.Postgres{Parallelism: sc.Parallelism, BatchSize: sc.BatchSize}
 	case "defaults":
-		return harness.Defaults{Parallelism: sc.Parallelism}
+		return harness.Defaults{Parallelism: sc.Parallelism, BatchSize: sc.BatchSize}
 	case "greedy":
-		return harness.Greedy{Parallelism: sc.Parallelism}
+		return harness.Greedy{Parallelism: sc.Parallelism, BatchSize: sc.BatchSize}
 	case "ondemand":
-		return harness.OnDemand{Sink: sink, Parallelism: sc.Parallelism}
+		return harness.OnDemand{Sink: sink, Parallelism: sc.Parallelism, BatchSize: sc.BatchSize}
 	case "sampling":
-		return harness.Sampling{Sink: sink, Parallelism: sc.Parallelism}
+		return harness.Sampling{Sink: sink, Parallelism: sc.Parallelism, BatchSize: sc.BatchSize}
 	case "skinner":
-		return harness.Skinner{Parallelism: sc.Parallelism}
+		return harness.Skinner{Parallelism: sc.Parallelism, BatchSize: sc.BatchSize}
 	case "lec":
-		return harness.LEC{Parallelism: sc.Parallelism}
+		return harness.LEC{Parallelism: sc.Parallelism, BatchSize: sc.BatchSize}
 	case "handwritten":
-		return harness.HandWritten{Parallelism: sc.Parallelism}
+		return harness.HandWritten{Parallelism: sc.Parallelism, BatchSize: sc.BatchSize}
 	default:
 		fail("unknown option %q", name)
 		return nil
@@ -209,6 +211,7 @@ func runMonsoonTraced(spec harness.QuerySpec, sc harness.Scale, priorName string
 	for i := 0; i < repeat; i++ {
 		eng := engine.New(spec.Cat)
 		eng.Parallelism = sc.Parallelism
+		eng.BatchSize = sc.BatchSize
 		budget := &engine.Budget{MaxTuples: sc.MaxTuples, Deadline: time.Now().Add(sc.Timeout)}
 		cfg := core.Config{
 			Prior:           p,
@@ -216,6 +219,7 @@ func runMonsoonTraced(spec harness.QuerySpec, sc harness.Scale, priorName string
 			Seed:            sc.Seed,
 			Metrics:         reg,
 			Parallelism:     sc.Parallelism,
+			BatchSize:       sc.BatchSize,
 			PlanParallelism: sc.PlanParallelism,
 			Cache:           cache,
 		}
@@ -298,6 +302,7 @@ func fail(format string, args ...any) {
 func runExplained(spec harness.QuerySpec, sc harness.Scale, optName string, sink obs.EventSink) {
 	eng := engine.New(spec.Cat)
 	eng.Parallelism = sc.Parallelism
+	eng.BatchSize = sc.BatchSize
 	eng.Obs = obs.NewTracer(sink)
 	var st *stats.Store
 	switch optName {

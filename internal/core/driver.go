@@ -54,6 +54,13 @@ type Config struct {
 	// bit-identical — same result rows, Σ estimates, and plan choices —
 	// so the knob trades wall time only.
 	Parallelism int
+	// BatchSize, when non-zero, overrides the engine's streaming pipeline
+	// batch size for this run's EXECUTE steps: negative disables batching
+	// (full materialization between operators, the legacy memory profile),
+	// positive caps each pipeline batch at that many rows. Results are
+	// bit-identical at every setting; only peak memory and wall time
+	// change.
+	BatchSize int
 	// PlanParallelism caps the OS threads the root-parallel MCTS planner
 	// runs search shards on: 0 means all cores, 1 forces serial execution.
 	// The search's logical decomposition — shard quotas, per-shard RNG
@@ -96,6 +103,10 @@ type Result struct {
 	// CacheHits and CacheMisses count plan-cache consultations for this
 	// run; both zero when no cache is configured.
 	CacheHits, CacheMisses int
+	// PeakBytes is the largest peak heap allocation any EXECUTE round's
+	// tree drain observed. Zero unless Config.Metrics is set (the engine
+	// samples runtime.MemStats only when a registry is attached).
+	PeakBytes float64
 }
 
 // Run optimizes and executes q on eng with interleaved MCTS planning and

@@ -104,6 +104,18 @@ func NewSession(q *query.Query, eng *engine.Engine, budget *engine.Budget, cfg C
 		eng.Parallelism = cfg.Parallelism
 		s.restore = append(s.restore, func() { eng.Parallelism = prevPar })
 	}
+	if cfg.BatchSize != 0 {
+		prevBatch := eng.BatchSize
+		eng.BatchSize = cfg.BatchSize
+		s.restore = append(s.restore, func() { eng.BatchSize = prevBatch })
+	}
+	if cfg.Metrics != nil {
+		// Attaching the registry also switches on the engine's peak-memory
+		// sampling (Result.PeakBytes, the monsoon.exec.peak_bytes gauge).
+		prevMetrics := eng.Metrics
+		eng.Metrics = cfg.Metrics
+		s.restore = append(s.restore, func() { eng.Metrics = prevMetrics })
+	}
 
 	s.model = &Model{
 		Q: q, Prior: cfg.Prior,
@@ -372,6 +384,9 @@ func (s *Session) ExecuteRound() error {
 		s.res.SigmaTime += er.SigmaTime
 		s.res.ExecTime += elapsed - er.SigmaTime
 		s.res.Produced += er.Produced
+		if er.PeakBytes > s.res.PeakBytes {
+			s.res.PeakBytes = er.PeakBytes
+		}
 		roundProduced += er.Produced
 		for k, v := range er.Counts {
 			s.st.SetCount(k, v)

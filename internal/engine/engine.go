@@ -5,6 +5,11 @@
 // collection operator (§4.2), which takes one extra pass over a materialized
 // result running HyperLogLog sketches over every evaluable UDF term.
 //
+// Operators are connected as a streaming batch pipeline (stream.go): rows
+// flow between stages in bounded batches, so only pipeline-breakers (the
+// hash-join build side, the tree root's materialize) hold a whole
+// intermediate in memory at once.
+//
 // The engine's accounting is aligned with the paper's cost model (§4.4):
 // Produced counts the objects emitted by every operator — filtered leaf
 // outputs, join outputs, and the extra Σ pass — so that the optimizer's
@@ -99,6 +104,10 @@ type ExecResult struct {
 	Sigma []SigmaObs
 	// SigmaTime is the portion of wall time spent in the Σ pass.
 	SigmaTime time.Duration
+	// PeakBytes is the peak heap allocation observed while the tree
+	// drained, sampled every few batches. Zero unless Engine.Metrics is
+	// set (sampling stops the world briefly, so it is strictly opt-in).
+	PeakBytes float64
 }
 
 // Engine executes plans for one dataset. It owns the materialized-expression
@@ -117,6 +126,18 @@ type Engine struct {
 	// setting produces bit-identical results — same row order, same Σ
 	// estimates, same budget totals — so the knob trades wall time only.
 	Parallelism int
+	// BatchSize caps the rows one pipeline batch carries between streaming
+	// operators: 0 means DefaultBatchSize, negative disables batching (each
+	// operator emits its whole output at once — the materialized legacy
+	// memory profile). Results, row order, budget totals, and span
+	// accounting are bit-identical at every setting; only peak memory and
+	// wall time change.
+	BatchSize int
+	// Metrics, when non-nil, receives the engine's execution gauges —
+	// currently monsoon.exec.peak_bytes, the peak heap observed while a
+	// tree drains, sampled every few batches via runtime.ReadMemStats.
+	// Nil (the default) keeps memory sampling entirely off the hot path.
+	Metrics *obs.Registry
 
 	mats map[string]*table.Relation
 }
@@ -147,119 +168,51 @@ func (e *Engine) SeedBaseStats(q *query.Query, st *stats.Store) {
 	}
 }
 
-// ExecTree executes one plan tree, materializes and registers its root, and
-// returns the result relation plus observations. Budget overruns abort with
-// ErrBudget; partial results are discarded but counts already observed are
-// returned so the harness can report progress.
+// ExecTree executes one plan tree through the streaming batch pipeline
+// (stream.go), materializes and registers its root, and returns the result
+// relation plus observations. The root materialize is a deliberate pipeline
+// breaker: the MDP's Re store and the plan cache key whole relations. Budget
+// overruns abort with ErrBudget; partial results are discarded but counts
+// already observed are returned so the harness can report progress.
 func (e *Engine) ExecTree(q *query.Query, n *plan.Node, budget *Budget) (*table.Relation, *ExecResult, error) {
 	res := &ExecResult{Counts: make(map[string]float64), Times: make(map[string]time.Duration)}
 	msp := e.Obs.Start(obs.KMaterialize, n.String()).SetStr("expr", n.Key())
-	rel, err := e.exec(q, n, budget, res)
+	it, schema, err := e.open(q, n, budget, res, nil)
 	if err != nil {
 		msp.SetStr("err", err.Error()).SetProduced(res.Produced).End()
 		return nil, res, err
 	}
+	sampler := e.peakSampler(res)
+	var out []table.Row
+	for {
+		b, err := it.Next()
+		if err != nil {
+			it.Close(err)
+			sampler.finish()
+			msp.SetStr("err", err.Error()).SetProduced(res.Produced).End()
+			return nil, res, err
+		}
+		if b == nil {
+			break
+		}
+		out = append(out, b...)
+		sampler.sample()
+	}
+	it.Close(nil)
+	rel := table.NewRelation(n.Key(), schema, out)
 	if n.Sigma {
 		start := time.Now()
 		if err := e.collectSigma(q, n, rel, budget, res); err != nil {
+			sampler.finish()
 			msp.SetStr("err", err.Error()).SetProduced(res.Produced).End()
 			return nil, res, err
 		}
 		res.SigmaTime = time.Since(start)
 	}
+	sampler.finish()
 	e.mats[n.Key()] = rel
 	msp.SetRows(0, rel.Count()).SetProduced(res.Produced).End()
 	return rel, res, nil
-}
-
-func (e *Engine) exec(q *query.Query, n *plan.Node, budget *Budget, res *ExecResult) (*table.Relation, error) {
-	t0 := time.Now()
-	var rel *table.Relation
-	var err error
-	if n.IsLeaf() {
-		rel, err = e.execLeaf(q, n, budget)
-	} else {
-		rel, err = e.execJoin(q, n, budget, res)
-	}
-	res.Times[n.Key()] = time.Since(t0)
-	if err != nil {
-		return nil, err
-	}
-	res.Counts[n.Key()] = float64(rel.Count())
-	res.Produced += float64(rel.Count())
-	return rel, nil
-}
-
-// execLeaf resolves a leaf: a previously materialized expression if one
-// exists under the leaf's key, otherwise a scan of the stored base table with
-// every single-alias selection pushed down.
-func (e *Engine) execLeaf(q *query.Query, n *plan.Node, budget *Budget) (*table.Relation, error) {
-	key := n.Key()
-	if m, ok := e.mats[key]; ok {
-		// Reusing a materialized expression still costs one pass over it
-		// (cost(r) = c(r) for r in Re, §4.4).
-		sp := e.Obs.Start(obs.KReuse, key).SetStr("expr", key).SetRows(m.Count(), m.Count())
-		if err := budget.Charge(m.Count()); err != nil {
-			sp.SetStr("err", err.Error()).End()
-			return nil, err
-		}
-		sp.End()
-		return m, nil
-	}
-	if n.Leaf.Size() != 1 {
-		return nil, fmt.Errorf("engine: leaf %q references an unmaterialized expression", key)
-	}
-	alias := n.Leaf.Names()[0]
-	tbl, ok := q.TableOf(alias)
-	if !ok {
-		return nil, fmt.Errorf("engine: alias %q not in query", alias)
-	}
-	base := e.Cat.MustGet(tbl).Renamed(alias)
-	sels := q.SelsAt(n.Leaf)
-	sp := e.Obs.Start(obs.KScan, alias).SetStr("expr", key).SetNum("selections", float64(len(sels)))
-	if len(sels) == 0 {
-		if err := budget.Charge(base.Count()); err != nil {
-			sp.SetRows(base.Count(), 0).SetStr("err", err.Error()).End()
-			return nil, err
-		}
-		sp.SetRows(base.Count(), base.Count()).SetProduced(float64(base.Count())).End()
-		return base, nil
-	}
-	bound, ok := bindSels(sels, base.Schema)
-	if !ok {
-		sp.End()
-		return nil, fmt.Errorf("engine: selections not bindable on %s", base.Schema)
-	}
-	var out []table.Row
-	if w := e.workers(base.Count()); w > 1 {
-		sp.SetNum("workers", float64(w))
-		pout, err := parallelFilter(base, sels, budget, w, e.tracedRunner(sp))
-		if err != nil {
-			sp.SetRows(base.Count(), len(pout)).SetStr("err", err.Error()).End()
-			return nil, err
-		}
-		out = pout
-	} else {
-		out = make([]table.Row, 0, base.Count()/4+1)
-		for _, row := range base.Rows {
-			keep := true
-			for _, s := range bound {
-				if !s.b.Eval(row).Equal(s.k) {
-					keep = false
-					break
-				}
-			}
-			if keep {
-				out = append(out, row)
-				if err := budget.Charge(1); err != nil {
-					sp.SetRows(base.Count(), len(out)).SetStr("err", err.Error()).End()
-					return nil, err
-				}
-			}
-		}
-	}
-	sp.SetRows(base.Count(), len(out)).SetProduced(float64(len(out))).End()
-	return table.NewRelation(key, base.Schema, out), nil
 }
 
 // boundSel is one pushed-down selection bound to a concrete schema.
@@ -273,184 +226,6 @@ type residual struct {
 	lb, rb *expr.Binding // join predicate sides (nil for selections)
 	sb     *expr.Binding // selection term
 	k      value.Value   // selection constant
-}
-
-// execJoin executes one join node under a KJoin umbrella span that covers the
-// children and the join phases, so the span tree reproduces the plan tree:
-// materialize → join → {child operators, hash-build/probe or nested-loop}.
-func (e *Engine) execJoin(q *query.Query, n *plan.Node, budget *Budget, res *ExecResult) (*table.Relation, error) {
-	jsp := e.Obs.Start(obs.KJoin, n.Key()).SetStr("expr", n.Key())
-	rel, err := e.execJoinNode(q, n, budget, res)
-	if err != nil {
-		jsp.SetStr("err", err.Error()).End()
-		return nil, err
-	}
-	jsp.SetRows(0, rel.Count()).End()
-	return rel, nil
-}
-
-func (e *Engine) execJoinNode(q *query.Query, n *plan.Node, budget *Budget, res *ExecResult) (*table.Relation, error) {
-	left, err := e.exec(q, n.Left, budget, res)
-	if err != nil {
-		return nil, err
-	}
-	right, err := e.exec(q, n.Right, budget, res)
-	if err != nil {
-		return nil, err
-	}
-	outSchema := left.Schema.Concat(right.Schema)
-	newPreds := q.PredsNewAt(n.Left.Aliases(), n.Right.Aliases())
-	newSels := q.SelsNewAt(n.Left.Aliases(), n.Right.Aliases())
-
-	// Choose a hash predicate: one whose sides bind to opposite children.
-	var hashPred *query.JoinPred
-	var buildTerm, probeTerm *query.Term
-	for _, p := range newPreds {
-		lInL := p.L.Aliases.SubsetOf(n.Left.Aliases())
-		rInR := p.R.Aliases.SubsetOf(n.Right.Aliases())
-		lInR := p.L.Aliases.SubsetOf(n.Right.Aliases())
-		rInL := p.R.Aliases.SubsetOf(n.Left.Aliases())
-		if lInL && rInR {
-			hashPred, buildTerm, probeTerm = p, p.L, p.R
-			break
-		}
-		if lInR && rInL {
-			hashPred, buildTerm, probeTerm = p, p.R, p.L
-			break
-		}
-	}
-
-	// Everything else is residual, evaluated over the concatenated row.
-	var residuals []residual
-	for _, p := range newPreds {
-		if p == hashPred {
-			continue
-		}
-		lb, ok1 := p.L.Fn.Bind(outSchema)
-		rb, ok2 := p.R.Fn.Bind(outSchema)
-		if !ok1 || !ok2 {
-			return nil, fmt.Errorf("engine: predicate %s not bindable at %s", p, n)
-		}
-		residuals = append(residuals, residual{lb: lb, rb: rb})
-	}
-	for _, s := range newSels {
-		sb, ok := s.T.Fn.Bind(outSchema)
-		if !ok {
-			return nil, fmt.Errorf("engine: selection %s not bindable at %s", s, n)
-		}
-		residuals = append(residuals, residual{sb: sb, k: s.Const})
-	}
-
-	if hashPred != nil {
-		return e.hashJoin(left, right, buildTerm, probeTerm, residuals, outSchema, n.Key(), budget)
-	}
-	return e.nestedLoop(left, right, residuals, outSchema, n.Key(), budget)
-}
-
-// hashJoin builds on the left child and probes with the right. buildTerm
-// binds on the left schema, probeTerm on the right. NULL keys never match.
-func (e *Engine) hashJoin(left, right *table.Relation, buildTerm, probeTerm *query.Term,
-	residuals []residual, outSchema *table.Schema, name string, budget *Budget) (*table.Relation, error) {
-
-	// Build on the smaller side to bound memory; swap roles if needed while
-	// keeping output column order (left ++ right).
-	buildRel, probeRel := left, right
-	bTerm, pTerm := buildTerm, probeTerm
-	leftIsBuild := true
-	if right.Count() < left.Count() {
-		buildRel, probeRel = right, left
-		bTerm, pTerm = probeTerm, buildTerm
-		leftIsBuild = false
-	}
-	bb, ok := bTerm.Fn.Bind(buildRel.Schema)
-	if !ok {
-		return nil, fmt.Errorf("engine: term %s not bindable on build side", bTerm)
-	}
-	pb, ok := pTerm.Fn.Bind(probeRel.Schema)
-	if !ok {
-		return nil, fmt.Errorf("engine: term %s not bindable on probe side", pTerm)
-	}
-	bsp := e.Obs.Start(obs.KHashBuild, name)
-	var ht hashTable
-	inserted := 0
-	if w := e.workers(buildRel.Count()); w > 1 {
-		bsp.SetNum("workers", float64(w))
-		var err error
-		ht, inserted, err = parallelBuild(buildRel, bTerm, budget, w, e.tracedRunner(bsp))
-		if err != nil {
-			bsp.SetRows(buildRel.Count(), inserted).SetStr("err", err.Error()).End()
-			return nil, err
-		}
-	} else {
-		ht = make(hashTable, buildRel.Count())
-		for i, row := range buildRel.Rows {
-			// Building over a huge materialized input produces nothing but
-			// must still honor the deadline.
-			if err := budget.Charge(0); err != nil {
-				bsp.SetRows(buildRel.Count(), inserted).SetStr("err", err.Error()).End()
-				return nil, err
-			}
-			k := bb.Eval(row)
-			if k.IsNull() {
-				continue
-			}
-			inserted++
-			ht.insert(k, i)
-		}
-	}
-	bsp.SetRows(buildRel.Count(), inserted).SetNum("residuals", float64(len(residuals))).End()
-	psp := e.Obs.Start(obs.KHashProbe, name)
-	var out []table.Row
-	if w := e.workers(probeRel.Count()); w > 1 {
-		psp.SetNum("workers", float64(w))
-		pout, err := parallelProbe(buildRel, probeRel, ht, pTerm, residuals, outSchema, leftIsBuild, budget, w, e.tracedRunner(psp))
-		if err != nil {
-			psp.SetRows(probeRel.Count(), len(pout)).SetStr("err", err.Error()).End()
-			return nil, err
-		}
-		out = pout
-	} else {
-		scratch := make(table.Row, len(outSchema.Cols))
-		for _, prow := range probeRel.Rows {
-			// Matchless probes produce nothing; poll the deadline anyway.
-			if err := budget.Charge(0); err != nil {
-				psp.SetRows(probeRel.Count(), len(out)).SetStr("err", err.Error()).End()
-				return nil, err
-			}
-			k := pb.Eval(prow)
-			if k.IsNull() {
-				continue
-			}
-			for _, b := range ht[k.Hash()] {
-				if !b.key.Equal(k) {
-					continue
-				}
-				for _, bi := range b.rows {
-					brow := buildRel.Rows[bi]
-					var lrow, rrow table.Row
-					if leftIsBuild {
-						lrow, rrow = brow, prow
-					} else {
-						lrow, rrow = prow, brow
-					}
-					copy(scratch, lrow)
-					copy(scratch[len(lrow):], rrow)
-					if !passResiduals(scratch, residuals) {
-						continue
-					}
-					joined := make(table.Row, len(scratch))
-					copy(joined, scratch)
-					out = append(out, joined)
-					if err := budget.Charge(1); err != nil {
-						psp.SetRows(probeRel.Count(), len(out)).SetStr("err", err.Error()).End()
-						return nil, err
-					}
-				}
-			}
-		}
-	}
-	psp.SetRows(probeRel.Count(), len(out)).SetProduced(float64(len(out))).End()
-	return table.NewRelation(name, outSchema, out), nil
 }
 
 // bucket chains the build rows of one join-key value; hashTable maps key
@@ -478,62 +253,6 @@ func (ht hashTable) insert(k value.Value, i int) {
 		}
 	}
 	ht[h] = append(bs, bucket{key: k, rows: []int{i}})
-}
-
-// nestedLoop computes the filtered product; it is the only strategy when no
-// predicate separates the children (pure cross products and crossing
-// multi-table UDF terms). Its span reports rows-in as the number of row
-// pairs scanned — the full cross product on completion — since that, not the
-// sum of the input sizes, is the work the operator actually does.
-func (e *Engine) nestedLoop(left, right *table.Relation, residuals []residual,
-	outSchema *table.Schema, name string, budget *Budget) (*table.Relation, error) {
-	sp := e.Obs.Start(obs.KNestedLoop, name).SetNum("residuals", float64(len(residuals)))
-	// Parallelism is sized to the pairs scanned (the operator's real work)
-	// but partitions the outer rows, so the worker count is also capped by
-	// the outer cardinality.
-	if w := e.workers(left.Count() * right.Count()); w > 1 {
-		if w > left.Count() {
-			w = left.Count()
-		}
-		if w > 1 {
-			sp.SetNum("workers", float64(w))
-			out, pairs, err := parallelNestedLoop(left, right, residuals, outSchema, budget, w, e.tracedRunner(sp))
-			if err != nil {
-				sp.SetRows(pairs, len(out)).SetStr("err", err.Error()).End()
-				return nil, err
-			}
-			sp.SetRows(pairs, len(out)).SetProduced(float64(len(out))).End()
-			return table.NewRelation(name, outSchema, out), nil
-		}
-	}
-	var out []table.Row
-	pairs := 0
-	scratch := make(table.Row, len(outSchema.Cols))
-	for _, lrow := range left.Rows {
-		copy(scratch, lrow)
-		for _, rrow := range right.Rows {
-			pairs++
-			copy(scratch[len(lrow):], rrow)
-			if !passResiduals(scratch, residuals) {
-				// Even rejected pairs consume work in a nested loop; charge
-				// them against the deadline occasionally via a zero charge.
-				if err := budget.Charge(0); err != nil {
-					sp.SetRows(pairs, len(out)).SetStr("err", err.Error()).End()
-					return nil, err
-				}
-				continue
-			}
-			joined := make(table.Row, len(scratch))
-			copy(joined, scratch)
-			out = append(out, joined)
-			if err := budget.Charge(1); err != nil {
-				sp.SetRows(pairs, len(out)).SetStr("err", err.Error()).End()
-				return nil, err
-			}
-		}
-	}
-	sp.SetRows(pairs, len(out)).SetProduced(float64(len(out))).End()
-	return table.NewRelation(name, outSchema, out), nil
 }
 
 func passResiduals(row table.Row, residuals []residual) bool {

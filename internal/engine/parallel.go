@@ -108,6 +108,10 @@ func (e *Engine) tracedRunner(op *obs.Span) workerRunner {
 	}
 	return func(n, w int, fn func(worker, lo, hi int) error) error {
 		parts := splitRows(n, w)
+		// Streaming operators fan out once per large-enough batch, so the
+		// operator span accumulates its total worker-span count here (the
+		// "workers" attribute records only the first fan-out's width).
+		op.AddNum("worker_spans", float64(len(parts)))
 		spans := make([]*obs.Span, len(parts))
 		for i, p := range parts {
 			spans[i] = e.Obs.StartChild(op, obs.KWorker, fmt.Sprintf("w%d", i)).

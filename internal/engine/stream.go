@@ -1,0 +1,764 @@
+// Streaming batch pipeline: every operator consumes and produces fixed-size
+// row batches through the rowIter interface instead of whole materialized
+// relations, so filter → join → filter stages of one tree overlap and peak
+// memory is bounded by batch size × pipeline depth rather than intermediate
+// cardinality. Two stages stay pipeline-breakers by construction: the
+// hash-join build side (the hash table needs every build row before the first
+// probe) and the tree root's final materialize (the MDP's Re store and the
+// plan cache key the full relation). The Σ pass runs over that materialized
+// root, as before.
+//
+// Determinism contract: a streaming run is bit-identical to the materialized
+// one — same output rows in the same order, same budget totals, same span
+// kinds with the same ids and the same rows/produced accounting — at every
+// batch size and worker count. Batches preserve input order (each output
+// batch is the join of one input batch, emitted in input order; parallel
+// fan-outs stitch per-worker buffers in partition order as they always did),
+// and operator spans are opened in the exact order the materialized engine
+// opened them, accumulating rows across batches instead of setting them once.
+// The only telemetry that legitimately varies with batch size is the number
+// of KWorker spans (one fan-out per large-enough batch instead of one per
+// operator), which is already the one machine-dependent span kind.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"monsoon/internal/expr"
+	"monsoon/internal/obs"
+	"monsoon/internal/plan"
+	"monsoon/internal/query"
+	"monsoon/internal/table"
+)
+
+// DefaultBatchSize is the pipeline batch size when Engine.BatchSize is 0.
+const DefaultBatchSize = 4096
+
+// unboundedBatch stands in for "one batch holds everything" when
+// Engine.BatchSize < 0 (materialized mode). Kept far from MaxInt so
+// lo+slab arithmetic cannot overflow.
+const unboundedBatch = int(^uint(0) >> 2)
+
+// batch resolves the engine's BatchSize knob: 0 = DefaultBatchSize,
+// negative = unbounded (each operator emits its whole output as one batch,
+// reproducing the materialized engine's memory profile exactly).
+func (e *Engine) batch() int {
+	switch {
+	case e.BatchSize < 0:
+		return unboundedBatch
+	case e.BatchSize == 0:
+		return DefaultBatchSize
+	}
+	return e.BatchSize
+}
+
+// scanSlab sizes the chunk a leaf scan examines per pull. It is at least the
+// batch size, but also at least workers × parallelMinChunk so that a filter
+// scan over a large base table fans out with the same worker count the
+// materialized engine used (a bare batch of 4096 rows would cap the fan-out
+// at 4 workers regardless of Parallelism).
+func (e *Engine) scanSlab() int {
+	slab := e.batch()
+	w := e.Parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if min := w * parallelMinChunk; slab < min {
+		slab = min
+	}
+	return slab
+}
+
+// rowIter is the pull-based batch iterator every streaming operator
+// implements. Next returns the next non-empty batch of rows, nil when
+// exhausted; returned batches must not be retained past the next Next call
+// by operators that reuse buffers (none currently do — batches alias either
+// base-table rows or freshly allocated join outputs). Close must be called
+// exactly once, with the error that stopped the drain (nil on a clean run);
+// it ends the iterator's spans and cascades to children.
+type rowIter interface {
+	Next() ([]table.Row, error)
+	Close(err error)
+}
+
+// nodeIter wraps a plan node's operator iterator with the per-node
+// accounting ExecResult carries: inclusive wall time (children are pulled
+// inside the parent's Next, so accumulated pull time is inclusive, matching
+// the materialized engine), the hardened cardinality on clean exhaustion,
+// and the §4.4 Produced charge per emitted batch.
+type nodeIter struct {
+	inner rowIter
+	key   string
+	res   *ExecResult
+	rows  int
+	done  bool
+}
+
+func (t *nodeIter) Next() ([]table.Row, error) {
+	t0 := time.Now()
+	b, err := t.inner.Next()
+	t.res.Times[t.key] += time.Since(t0)
+	if err != nil {
+		return nil, err
+	}
+	if b == nil {
+		if !t.done {
+			t.done = true
+			// Counts are hardened statistics: only a complete drain may
+			// record one (an aborted run must not teach the optimizer a
+			// truncated cardinality).
+			t.res.Counts[t.key] = float64(t.rows)
+		}
+		return nil, nil
+	}
+	t.rows += len(b)
+	t.res.Produced += float64(len(b))
+	return b, nil
+}
+
+func (t *nodeIter) Close(err error) { t.inner.Close(err) }
+
+// open builds the iterator pipeline for a plan node and wraps it with
+// accounting. parent is the enclosing join's umbrella span, nil at the tree
+// root (where the ambient tracer stack — holding the KMaterialize span —
+// supplies the parent). Open time is charged to the node's inclusive time,
+// like the materialized engine's single timestamp around the whole node.
+func (e *Engine) open(q *query.Query, n *plan.Node, budget *Budget, res *ExecResult, parent *obs.Span) (rowIter, *table.Schema, error) {
+	t0 := time.Now()
+	var (
+		it     rowIter
+		schema *table.Schema
+		err    error
+	)
+	if n.IsLeaf() {
+		it, schema, err = e.openLeaf(q, n, budget, parent)
+	} else {
+		it, schema, err = e.openJoin(q, n, budget, res, parent)
+	}
+	res.Times[n.Key()] += time.Since(t0)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &nodeIter{inner: it, key: n.Key(), res: res}, schema, nil
+}
+
+// opSpan starts an operator span in the position the materialized engine
+// started it: under the ambient stack at the tree root (parenting to the
+// KMaterialize span), explicitly under the enclosing join's umbrella
+// otherwise. The explicit parent matters under streaming: a sibling
+// subtree's spans stay open on the ambient stack while this one opens, so
+// ambient parenting would splice unrelated operators together.
+func (e *Engine) opSpan(parent *obs.Span, kind, name string) *obs.Span {
+	if parent != nil {
+		return e.Obs.StartChild(parent, kind, name)
+	}
+	return e.Obs.Start(kind, name)
+}
+
+// openLeaf resolves a leaf into an iterator: a previously materialized
+// expression if one exists under the leaf's key, otherwise a scan of the
+// stored base table with every single-alias selection pushed down.
+func (e *Engine) openLeaf(q *query.Query, n *plan.Node, budget *Budget, parent *obs.Span) (rowIter, *table.Schema, error) {
+	key := n.Key()
+	if m, ok := e.mats[key]; ok {
+		// Reusing a materialized expression still costs one pass over it
+		// (cost(r) = c(r) for r in Re, §4.4), charged slab by slab.
+		sp := e.opSpan(parent, obs.KReuse, key).SetStr("expr", key).SetRows(m.Count(), m.Count())
+		return &reuseIter{sp: sp, m: m, budget: budget, slab: e.batch()}, m.Schema, nil
+	}
+	if n.Leaf.Size() != 1 {
+		return nil, nil, fmt.Errorf("engine: leaf %q references an unmaterialized expression", key)
+	}
+	alias := n.Leaf.Names()[0]
+	tbl, ok := q.TableOf(alias)
+	if !ok {
+		return nil, nil, fmt.Errorf("engine: alias %q not in query", alias)
+	}
+	base := e.Cat.MustGet(tbl).Renamed(alias)
+	sels := q.SelsAt(n.Leaf)
+	sp := e.opSpan(parent, obs.KScan, alias).SetStr("expr", key).SetNum("selections", float64(len(sels)))
+	it := &scanIter{e: e, sp: sp, key: key, base: base, sels: sels, budget: budget, slab: e.scanSlab()}
+	if len(sels) > 0 {
+		bound, ok := bindSels(sels, base.Schema)
+		if !ok {
+			sp.End()
+			return nil, nil, fmt.Errorf("engine: selections not bindable on %s", base.Schema)
+		}
+		it.bound = bound
+	}
+	return it, base.Schema, nil
+}
+
+// reuseIter streams a materialized relation back out in batch-sized slices,
+// charging the reuse pass incrementally so deadlines fire mid-pass.
+type reuseIter struct {
+	sp     *obs.Span
+	m      *table.Relation
+	budget *Budget
+	slab   int
+	pos    int
+	fail   error
+	closed bool
+}
+
+func (r *reuseIter) Next() ([]table.Row, error) {
+	if r.pos >= r.m.Count() {
+		return nil, nil
+	}
+	lo := r.pos
+	hi := lo + r.slab
+	if hi > r.m.Count() {
+		hi = r.m.Count()
+	}
+	r.pos = hi
+	if err := r.budget.Charge(hi - lo); err != nil {
+		r.fail = err
+		return nil, err
+	}
+	return r.m.Rows[lo:hi], nil
+}
+
+func (r *reuseIter) Close(error) {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	if r.fail != nil {
+		r.sp.SetStr("err", r.fail.Error())
+	}
+	r.sp.End()
+}
+
+// scanIter streams a base table, applying pushed-down selections slab by
+// slab. Large slabs fan out through parallelFilter with per-slab worker
+// counts; the span's "workers" attribute records the first fan-out (the
+// same count the materialized engine reported for the whole scan).
+type scanIter struct {
+	e      *Engine
+	sp     *obs.Span
+	key    string
+	base   *table.Relation
+	sels   []*query.SelPred
+	bound  []boundSel
+	budget *Budget
+	slab   int
+	pos    int
+	kept   int
+	fanned bool
+	fail   error
+	closed bool
+}
+
+func (s *scanIter) Next() ([]table.Row, error) {
+	for s.pos < s.base.Count() {
+		lo := s.pos
+		hi := lo + s.slab
+		if hi > s.base.Count() {
+			hi = s.base.Count()
+		}
+		s.pos = hi
+		rows := s.base.Rows[lo:hi]
+		if s.bound == nil {
+			s.kept += len(rows)
+			if err := s.budget.Charge(len(rows)); err != nil {
+				s.fail = err
+				return nil, err
+			}
+			return rows, nil
+		}
+		var out []table.Row
+		if w := s.e.workers(len(rows)); w > 1 {
+			if !s.fanned {
+				s.fanned = true
+				s.sp.SetNum("workers", float64(w))
+			}
+			chunk := table.NewRelation(s.key, s.base.Schema, rows)
+			pout, err := parallelFilter(chunk, s.sels, s.budget, w, s.e.tracedRunner(s.sp))
+			s.kept += len(pout)
+			if err != nil {
+				s.fail = err
+				return nil, err
+			}
+			out = pout
+		} else {
+			out = make([]table.Row, 0, len(rows)/4+1)
+			for _, row := range rows {
+				keep := true
+				for _, b := range s.bound {
+					if !b.b.Eval(row).Equal(b.k) {
+						keep = false
+						break
+					}
+				}
+				if keep {
+					out = append(out, row)
+					s.kept++
+					if err := s.budget.Charge(1); err != nil {
+						s.fail = err
+						return nil, err
+					}
+				}
+			}
+		}
+		if len(out) > 0 {
+			return out, nil
+		}
+	}
+	return nil, nil
+}
+
+func (s *scanIter) Close(error) {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.fail != nil {
+		s.sp.SetRows(s.base.Count(), s.kept).SetStr("err", s.fail.Error()).End()
+		return
+	}
+	s.sp.SetRows(s.base.Count(), s.kept).SetProduced(float64(s.kept)).End()
+}
+
+// openJoin builds one join node's pipeline under a KJoin umbrella span. The
+// left child streams; the right child is a pipeline-breaker, drained in full
+// at open time to build the hash table (or to serve as the nested loop's
+// inner side). Spans open in the materialized engine's order — KJoin, left
+// subtree, right subtree, then KHashBuild/KNestedLoop — so span ids are
+// identical between streaming and materialized runs.
+func (e *Engine) openJoin(q *query.Query, n *plan.Node, budget *Budget, res *ExecResult, parent *obs.Span) (rowIter, *table.Schema, error) {
+	jsp := e.opSpan(parent, obs.KJoin, n.Key()).SetStr("expr", n.Key())
+	fail := func(err error, closers ...rowIter) (rowIter, *table.Schema, error) {
+		for _, c := range closers {
+			c.Close(err)
+		}
+		jsp.SetStr("err", err.Error()).End()
+		return nil, nil, err
+	}
+	left, lschema, err := e.open(q, n.Left, budget, res, jsp)
+	if err != nil {
+		return fail(err)
+	}
+	right, rschema, err := e.open(q, n.Right, budget, res, jsp)
+	if err != nil {
+		return fail(err, left)
+	}
+	outSchema := lschema.Concat(rschema)
+	newPreds := q.PredsNewAt(n.Left.Aliases(), n.Right.Aliases())
+	newSels := q.SelsNewAt(n.Left.Aliases(), n.Right.Aliases())
+
+	// Choose a hash predicate: one whose sides bind to opposite children.
+	// The build side is always the right child — under streaming the left
+	// side's cardinality is unknown until drained, so the materialized
+	// engine's build-on-the-smaller-side swap is no longer possible — and
+	// the probe term binds the (streaming) left child.
+	var hashPred *query.JoinPred
+	var buildTerm, probeTerm *query.Term
+	for _, p := range newPreds {
+		lInL := p.L.Aliases.SubsetOf(n.Left.Aliases())
+		rInR := p.R.Aliases.SubsetOf(n.Right.Aliases())
+		lInR := p.L.Aliases.SubsetOf(n.Right.Aliases())
+		rInL := p.R.Aliases.SubsetOf(n.Left.Aliases())
+		if lInL && rInR {
+			hashPred, probeTerm, buildTerm = p, p.L, p.R
+			break
+		}
+		if lInR && rInL {
+			hashPred, probeTerm, buildTerm = p, p.R, p.L
+			break
+		}
+	}
+
+	// Everything else is residual, evaluated over the concatenated row.
+	var residuals []residual
+	for _, p := range newPreds {
+		if p == hashPred {
+			continue
+		}
+		lb, ok1 := p.L.Fn.Bind(outSchema)
+		rb, ok2 := p.R.Fn.Bind(outSchema)
+		if !ok1 || !ok2 {
+			return fail(fmt.Errorf("engine: predicate %s not bindable at %s", p, n), left, right)
+		}
+		residuals = append(residuals, residual{lb: lb, rb: rb})
+	}
+	for _, s := range newSels {
+		sb, ok := s.T.Fn.Bind(outSchema)
+		if !ok {
+			return fail(fmt.Errorf("engine: selection %s not bindable at %s", s, n), left, right)
+		}
+		residuals = append(residuals, residual{sb: sb, k: s.Const})
+	}
+
+	// Pipeline breaker: drain the right child in full. Hash builds need
+	// every build row before the first probe, and the nested loop re-scans
+	// its inner side once per outer row.
+	var rrows []table.Row
+	for {
+		b, err := right.Next()
+		if err != nil {
+			right.Close(err)
+			return fail(err, left)
+		}
+		if b == nil {
+			break
+		}
+		rrows = append(rrows, b...)
+	}
+	right.Close(nil)
+	buildRel := table.NewRelation(n.Right.Key(), rschema, rrows)
+
+	if hashPred == nil {
+		sp := e.Obs.StartChild(jsp, obs.KNestedLoop, n.Key()).SetNum("residuals", float64(len(residuals)))
+		return &nestedLoopIter{
+			e: e, jsp: jsp, sp: sp, left: left, inner: buildRel, name: n.Key(),
+			outerSchema: lschema, residuals: residuals, outSchema: outSchema, budget: budget,
+		}, outSchema, nil
+	}
+
+	bb, ok := buildTerm.Fn.Bind(buildRel.Schema)
+	if !ok {
+		return fail(fmt.Errorf("engine: term %s not bindable on build side", buildTerm), left)
+	}
+	pb, ok := probeTerm.Fn.Bind(lschema)
+	if !ok {
+		return fail(fmt.Errorf("engine: term %s not bindable on probe side", probeTerm), left)
+	}
+	bsp := e.Obs.StartChild(jsp, obs.KHashBuild, n.Key())
+	var ht hashTable
+	inserted := 0
+	if w := e.workers(buildRel.Count()); w > 1 {
+		bsp.SetNum("workers", float64(w))
+		ht, inserted, err = parallelBuild(buildRel, buildTerm, budget, w, e.tracedRunner(bsp))
+		if err != nil {
+			bsp.SetRows(buildRel.Count(), inserted).SetStr("err", err.Error()).End()
+			return fail(err, left)
+		}
+	} else {
+		ht = make(hashTable, buildRel.Count())
+		for i, row := range buildRel.Rows {
+			// Building produces nothing but must still honor the deadline.
+			if err := budget.Charge(0); err != nil {
+				bsp.SetRows(buildRel.Count(), inserted).SetStr("err", err.Error()).End()
+				return fail(err, left)
+			}
+			k := bb.Eval(row)
+			if k.IsNull() {
+				continue
+			}
+			inserted++
+			ht.insert(k, i)
+		}
+	}
+	bsp.SetRows(buildRel.Count(), inserted).SetNum("residuals", float64(len(residuals))).End()
+	psp := e.Obs.StartChild(jsp, obs.KHashProbe, n.Key())
+	return &hashJoinIter{
+		e: e, jsp: jsp, psp: psp, left: left, buildRel: buildRel, ht: ht,
+		pb: pb, probeTerm: probeTerm, probeSchema: lschema, residuals: residuals,
+		outSchema: outSchema, budget: budget, name: n.Key(),
+	}, outSchema, nil
+}
+
+// hashJoinIter probes the prebuilt hash table with each batch pulled from
+// the left child. Output order is probe-major over the stream, identical at
+// every batch size because each output batch is the probe of exactly one
+// input batch, in input order. NULL keys never match.
+type hashJoinIter struct {
+	e           *Engine
+	jsp, psp    *obs.Span
+	left        rowIter
+	buildRel    *table.Relation
+	ht          hashTable
+	pb          *expr.Binding
+	probeTerm   *query.Term
+	probeSchema *table.Schema
+	residuals   []residual
+	outSchema   *table.Schema
+	budget      *Budget
+	name        string
+	scratch     table.Row
+	probed      int
+	emitted     int
+	fanned      bool
+	fail        error
+	closed      bool
+}
+
+func (h *hashJoinIter) Next() ([]table.Row, error) {
+	for {
+		batch, err := h.left.Next()
+		if err != nil {
+			h.fail = err
+			return nil, err
+		}
+		if batch == nil {
+			return nil, nil
+		}
+		h.probed += len(batch)
+		var out []table.Row
+		if w := h.e.workers(len(batch)); w > 1 {
+			if !h.fanned {
+				h.fanned = true
+				h.psp.SetNum("workers", float64(w))
+			}
+			probeRel := table.NewRelation(h.name, h.probeSchema, batch)
+			pout, perr := parallelProbe(h.buildRel, probeRel, h.ht, h.probeTerm,
+				h.residuals, h.outSchema, false, h.budget, w, h.e.tracedRunner(h.psp))
+			h.emitted += len(pout)
+			if perr != nil {
+				h.fail = perr
+				return nil, perr
+			}
+			out = pout
+		} else {
+			if h.scratch == nil {
+				h.scratch = make(table.Row, len(h.outSchema.Cols))
+			}
+			for _, prow := range batch {
+				// Matchless probes produce nothing; poll the deadline anyway.
+				if err := h.budget.Charge(0); err != nil {
+					h.fail = err
+					return nil, err
+				}
+				k := h.pb.Eval(prow)
+				if k.IsNull() {
+					continue
+				}
+				for _, b := range h.ht[k.Hash()] {
+					if !b.key.Equal(k) {
+						continue
+					}
+					for _, bi := range b.rows {
+						brow := h.buildRel.Rows[bi]
+						copy(h.scratch, prow)
+						copy(h.scratch[len(prow):], brow)
+						if !passResiduals(h.scratch, h.residuals) {
+							continue
+						}
+						joined := make(table.Row, len(h.scratch))
+						copy(joined, h.scratch)
+						out = append(out, joined)
+						h.emitted++
+						if err := h.budget.Charge(1); err != nil {
+							h.fail = err
+							return nil, err
+						}
+					}
+				}
+			}
+		}
+		if len(out) > 0 {
+			return out, nil
+		}
+	}
+}
+
+func (h *hashJoinIter) Close(err error) {
+	if h.closed {
+		return
+	}
+	h.closed = true
+	h.left.Close(err)
+	if h.fail != nil {
+		h.psp.SetRows(h.probed, h.emitted).SetStr("err", h.fail.Error()).End()
+		h.jsp.SetStr("err", h.fail.Error()).End()
+		return
+	}
+	h.psp.SetRows(h.probed, h.emitted).SetProduced(float64(h.emitted)).End()
+	h.jsp.SetRows(0, h.emitted).End()
+}
+
+// nestedLoopIter computes the filtered product of each left batch with the
+// fully drained inner side; it is the only strategy when no predicate
+// separates the children. Its span reports rows-in as the number of row
+// pairs scanned, accumulated across batches. Worker sizing mirrors the
+// materialized operator — pairs scanned, capped by the outer rows available
+// in the batch.
+type nestedLoopIter struct {
+	e           *Engine
+	jsp, sp     *obs.Span
+	left        rowIter
+	inner       *table.Relation
+	name        string
+	outerSchema *table.Schema
+	residuals   []residual
+	outSchema   *table.Schema
+	budget      *Budget
+	scratch     table.Row
+	pairs       int
+	emitted     int
+	fanned      bool
+	fail        error
+	closed      bool
+}
+
+func (nl *nestedLoopIter) Next() ([]table.Row, error) {
+	for {
+		batch, err := nl.left.Next()
+		if err != nil {
+			nl.fail = err
+			return nil, err
+		}
+		if batch == nil {
+			return nil, nil
+		}
+		var out []table.Row
+		w := nl.e.workers(len(batch) * nl.inner.Count())
+		if w > len(batch) {
+			w = len(batch)
+		}
+		if w > 1 {
+			if !nl.fanned {
+				nl.fanned = true
+				nl.sp.SetNum("workers", float64(w))
+			}
+			outer := table.NewRelation(nl.name, nl.outerSchema, batch)
+			pout, pairs, perr := parallelNestedLoop(outer, nl.inner, nl.residuals,
+				nl.outSchema, nl.budget, w, nl.e.tracedRunner(nl.sp))
+			nl.pairs += pairs
+			nl.emitted += len(pout)
+			if perr != nil {
+				nl.fail = perr
+				return nil, perr
+			}
+			out = pout
+		} else {
+			if nl.scratch == nil {
+				nl.scratch = make(table.Row, len(nl.outSchema.Cols))
+			}
+			for _, lrow := range batch {
+				copy(nl.scratch, lrow)
+				for _, rrow := range nl.inner.Rows {
+					nl.pairs++
+					copy(nl.scratch[len(lrow):], rrow)
+					if !passResiduals(nl.scratch, nl.residuals) {
+						// Even rejected pairs consume work; poll the deadline
+						// occasionally via a zero charge.
+						if err := nl.budget.Charge(0); err != nil {
+							nl.fail = err
+							return nil, err
+						}
+						continue
+					}
+					joined := make(table.Row, len(nl.scratch))
+					copy(joined, nl.scratch)
+					out = append(out, joined)
+					nl.emitted++
+					if err := nl.budget.Charge(1); err != nil {
+						nl.fail = err
+						return nil, err
+					}
+				}
+			}
+		}
+		if len(out) > 0 {
+			return out, nil
+		}
+	}
+}
+
+func (nl *nestedLoopIter) Close(err error) {
+	if nl.closed {
+		return
+	}
+	nl.closed = true
+	nl.left.Close(err)
+	if nl.fail != nil {
+		nl.sp.SetRows(nl.pairs, nl.emitted).SetStr("err", nl.fail.Error()).End()
+		nl.jsp.SetStr("err", nl.fail.Error()).End()
+		return
+	}
+	nl.sp.SetRows(nl.pairs, nl.emitted).SetProduced(float64(nl.emitted)).End()
+	nl.jsp.SetRows(0, nl.emitted).End()
+}
+
+// peakSampleStride spaces the runtime.ReadMemStats calls of the peak-memory
+// gauge on the drain path: every strideth batch plus the drain's start and
+// end. ReadMemStats briefly stops the world, so sampling is gated on a
+// metrics registry being attached and kept off the per-batch path otherwise.
+const peakSampleStride = 8
+
+// peakSampleTick paces the sampler's background goroutine. Batch-boundary
+// samples alone would under-read the unbounded/materialized mode, where a
+// whole tree drains in a single batch and the heap's true peak lies inside
+// one long operator call; a wall-clock ticker observes both modes evenly.
+const peakSampleTick = 2 * time.Millisecond
+
+// peakSampler tracks the peak heap allocation observed while a tree drains,
+// feeding ExecResult.PeakBytes and the monsoon.exec.peak_bytes gauge. It
+// samples at batch boundaries (exact, cheap) and from a background ticker
+// (catches peaks inside pipeline-breaking operator calls). The sampler only
+// reads runtime counters, so it cannot perturb results, spans, or budgets.
+type peakSampler struct {
+	e       *Engine
+	res     *ExecResult
+	enabled bool
+	ticks   int
+	peak    uint64
+	bgPeak  atomic.Uint64
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+func (e *Engine) peakSampler(res *ExecResult) *peakSampler {
+	ps := &peakSampler{e: e, res: res, enabled: e.Metrics != nil}
+	if ps.enabled {
+		ps.read()
+		ps.stop = make(chan struct{})
+		ps.done = make(chan struct{})
+		go ps.background()
+	}
+	return ps
+}
+
+func (ps *peakSampler) background() {
+	defer close(ps.done)
+	t := time.NewTicker(peakSampleTick)
+	defer t.Stop()
+	for {
+		select {
+		case <-ps.stop:
+			return
+		case <-t.C:
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > ps.bgPeak.Load() {
+				ps.bgPeak.Store(ms.HeapAlloc)
+			}
+		}
+	}
+}
+
+func (ps *peakSampler) read() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > ps.peak {
+		ps.peak = ms.HeapAlloc
+	}
+}
+
+func (ps *peakSampler) sample() {
+	if !ps.enabled {
+		return
+	}
+	ps.ticks++
+	if ps.ticks%peakSampleStride == 0 {
+		ps.read()
+	}
+}
+
+func (ps *peakSampler) finish() {
+	if !ps.enabled {
+		return
+	}
+	close(ps.stop)
+	<-ps.done
+	ps.read()
+	if bg := ps.bgPeak.Load(); bg > ps.peak {
+		ps.peak = bg
+	}
+	ps.res.PeakBytes = float64(ps.peak)
+	ps.e.Metrics.Gauge("monsoon.exec.peak_bytes").Set(float64(ps.peak))
+}

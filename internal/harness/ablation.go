@@ -23,6 +23,9 @@ type LEC struct {
 	Worlds int
 	// Parallelism caps the engine worker count (0 = GOMAXPROCS, 1 = serial).
 	Parallelism int
+	// BatchSize caps the engine's streaming pipeline batch (0 = the default
+	// 4096, negative = unbounded/materialized).
+	BatchSize int
 }
 
 // Name implements Option.
@@ -40,7 +43,7 @@ func (l LEC) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, seed 
 	}
 	start := time.Now()
 	b := newBudget(timeout, maxTuples)
-	eng := newEngine(spec.Cat, l.Parallelism)
+	eng := newEngine(spec.Cat, l.Parallelism, l.BatchSize)
 	st := stats.New()
 	eng.SeedBaseStats(spec.Q, st)
 	tree, err := opt.LECPlan(spec.Q, st, p, worlds, randx.New(randx.Derive(seed, "lec")))
@@ -64,6 +67,9 @@ type MonsoonVariant struct {
 	UniformRollout bool
 	// Parallelism caps the engine worker count (0 = GOMAXPROCS, 1 = serial).
 	Parallelism int
+	// BatchSize caps the engine's streaming pipeline batch (0 = the default
+	// 4096, negative = unbounded/materialized).
+	BatchSize int
 }
 
 // Name implements Option.
@@ -73,7 +79,7 @@ func (m MonsoonVariant) Name() string { return m.Label }
 func (m MonsoonVariant) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, seed int64) Outcome {
 	start := time.Now()
 	b := newBudget(timeout, maxTuples)
-	eng := newEngine(spec.Cat, m.Parallelism)
+	eng := newEngine(spec.Cat, m.Parallelism, m.BatchSize)
 	res, err := core.Run(spec.Q, eng, b, core.Config{
 		Prior:          m.Prior,
 		Strategy:       m.Strategy,
@@ -81,6 +87,7 @@ func (m MonsoonVariant) Run(spec QuerySpec, timeout time.Duration, maxTuples flo
 		UniformRollout: m.UniformRollout,
 		Seed:           seed,
 		Parallelism:    m.Parallelism,
+		BatchSize:      m.BatchSize,
 	})
 	out := Outcome{
 		Rows: res.Rows, Value: res.Value,
@@ -105,12 +112,13 @@ func (r *Runner) Ablation(w io.Writer) error {
 	for _, qc := range suite.All() {
 		specs = append(specs, QuerySpec{Q: qc.Query, Cat: qc.Cat})
 	}
+	bs := sc.BatchSize
 	options := []Option{
-		MonsoonVariant{Label: "Monsoon (UCT+greedy)", Iterations: sc.MCTSIterations},
-		MonsoonVariant{Label: "Monsoon (ε-greedy)", Strategy: mcts.EpsGreedy, Iterations: sc.MCTSIterations},
-		MonsoonVariant{Label: "Monsoon (uniform rollout)", UniformRollout: true, Iterations: sc.MCTSIterations},
-		LEC{},
-		Defaults{},
+		MonsoonVariant{Label: "Monsoon (UCT+greedy)", Iterations: sc.MCTSIterations, BatchSize: bs},
+		MonsoonVariant{Label: "Monsoon (ε-greedy)", Strategy: mcts.EpsGreedy, Iterations: sc.MCTSIterations, BatchSize: bs},
+		MonsoonVariant{Label: "Monsoon (uniform rollout)", UniformRollout: true, Iterations: sc.MCTSIterations, BatchSize: bs},
+		LEC{BatchSize: bs},
+		Defaults{BatchSize: bs},
 	}
 	br, err := RunBenchmark(specs, options, sc.Timeout, sc.MaxTuples, sc.Seed, r.Progress)
 	if err != nil {

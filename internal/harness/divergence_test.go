@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func qr(name string, rows int, value, produced float64, timedOut bool) QueryResult {
+	return QueryResult{Query: name, Outcome: Outcome{Rows: rows, Value: value, Produced: produced, TimedOut: timedOut}}
+}
+
+// TestResultDivergence pins the comparison the plan-cache and memory studies
+// share: strict rows/value/produced equality for completed queries, with
+// deadline-truncated queries exempt — a pass that times out did partial work
+// whose extent is wall-clock-dependent, so its Produced is not comparable
+// (the imdb-q02 "divergence" at small scale was exactly this).
+func TestResultDivergence(t *testing.T) {
+	ref := []QueryResult{
+		qr("q1", 10, 1.5, 100, false),
+		qr("q2", 0, 0, 4.1e6, true), // truncated in the reference pass
+		qr("q3", 3, 7, 50, false),
+	}
+
+	t.Run("identical", func(t *testing.T) {
+		truncated, err := resultDivergence(ref, ref, "warm")
+		if err != nil || truncated != 1 {
+			t.Errorf("truncated/err = %d/%v, want 1/nil", truncated, err)
+		}
+	})
+
+	t.Run("timeout-exempt", func(t *testing.T) {
+		// The other pass timed out on q2 with a different Produced, and on q3
+		// too: both must be exempt, not divergences.
+		other := []QueryResult{
+			qr("q1", 10, 1.5, 100, false),
+			qr("q2", 0, 0, 7.0e6, true),
+			qr("q3", 0, 0, 20, true),
+		}
+		truncated, err := resultDivergence(ref, other, "warm")
+		if err != nil || truncated != 2 {
+			t.Errorf("truncated/err = %d/%v, want 2/nil", truncated, err)
+		}
+	})
+
+	t.Run("divergence-detected", func(t *testing.T) {
+		other := []QueryResult{
+			qr("q1", 10, 1.5, 100, false),
+			qr("q2", 0, 0, 4.1e6, true),
+			qr("q3", 3, 7, 51, false), // completed but produced differs
+		}
+		_, err := resultDivergence(ref, other, "warm")
+		if err == nil || !strings.Contains(err.Error(), "q3") {
+			t.Errorf("err = %v, want divergence on q3", err)
+		}
+	})
+
+	t.Run("length-mismatch", func(t *testing.T) {
+		if _, err := resultDivergence(ref, ref[:2], "warm"); err == nil {
+			t.Error("length mismatch must error")
+		}
+	})
+}

@@ -63,6 +63,10 @@ type Outcome struct {
 	// CacheHits and CacheMisses count plan-cache consultations (Monsoon
 	// with a cache attached only; zero otherwise).
 	CacheHits, CacheMisses int
+	// PeakBytes is the largest peak heap allocation any tree drain of the
+	// run observed (Monsoon with a metrics registry attached only; zero
+	// otherwise — the engine samples runtime.MemStats strictly opt-in).
+	PeakBytes float64
 	// Err carries non-budget failures (always a bug: surfaced, not hidden).
 	Err error
 }
@@ -85,10 +89,13 @@ func newBudget(timeout time.Duration, maxTuples float64) *engine.Budget {
 }
 
 // newEngine creates an option's engine with the configured worker count
-// (0 = GOMAXPROCS, 1 = serial; results are bit-identical either way).
-func newEngine(cat *table.Catalog, parallelism int) *engine.Engine {
+// (0 = GOMAXPROCS, 1 = serial) and streaming batch size (0 = default 4096,
+// negative = unbounded/materialized); results are bit-identical at every
+// combination.
+func newEngine(cat *table.Catalog, parallelism, batchSize int) *engine.Engine {
 	eng := engine.New(cat)
 	eng.Parallelism = parallelism
+	eng.BatchSize = batchSize
 	return eng
 }
 
@@ -128,6 +135,10 @@ func planAndExec(spec QuerySpec, eng *engine.Engine, st *stats.Store, miss cost.
 type Postgres struct {
 	// Parallelism caps the engine worker count (0 = GOMAXPROCS, 1 = serial).
 	Parallelism int
+	// BatchSize caps the engine's streaming pipeline batch (0 = the default
+	// 4096, negative = unbounded, i.e. full materialization between
+	// operators). Results are bit-identical at every setting.
+	BatchSize int
 }
 
 // Name implements Option.
@@ -138,13 +149,17 @@ func (o Postgres) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, 
 	st := opt.CollectFullStats(spec.Q, spec.Cat) // offline, untimed
 	start := time.Now()
 	b := newBudget(timeout, maxTuples)
-	return planAndExec(spec, newEngine(spec.Cat, o.Parallelism), st, cost.DefaultMiss(0.1), start, b)
+	return planAndExec(spec, newEngine(spec.Cat, o.Parallelism, o.BatchSize), st, cost.DefaultMiss(0.1), start, b)
 }
 
 // Defaults optimizes with the magic constant d = 0.1·c (option 4).
 type Defaults struct {
 	// Parallelism caps the engine worker count (0 = GOMAXPROCS, 1 = serial).
 	Parallelism int
+	// BatchSize caps the engine's streaming pipeline batch (0 = the default
+	// 4096, negative = unbounded, i.e. full materialization between
+	// operators). Results are bit-identical at every setting.
+	BatchSize int
 }
 
 // Name implements Option.
@@ -155,7 +170,7 @@ func (o Defaults) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, 
 	start := time.Now()
 	b := newBudget(timeout, maxTuples)
 	st := stats.New()
-	eng := newEngine(spec.Cat, o.Parallelism)
+	eng := newEngine(spec.Cat, o.Parallelism, o.BatchSize)
 	eng.SeedBaseStats(spec.Q, st)
 	return planAndExec(spec, eng, st, cost.DefaultMiss(0.1), start, b)
 }
@@ -164,6 +179,10 @@ func (o Defaults) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, 
 type Greedy struct {
 	// Parallelism caps the engine worker count (0 = GOMAXPROCS, 1 = serial).
 	Parallelism int
+	// BatchSize caps the engine's streaming pipeline batch (0 = the default
+	// 4096, negative = unbounded, i.e. full materialization between
+	// operators). Results are bit-identical at every setting.
+	BatchSize int
 }
 
 // Name implements Option.
@@ -174,7 +193,7 @@ func (o Greedy) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, _ 
 	start := time.Now()
 	b := newBudget(timeout, maxTuples)
 	st := stats.New()
-	eng := newEngine(spec.Cat, o.Parallelism)
+	eng := newEngine(spec.Cat, o.Parallelism, o.BatchSize)
 	eng.SeedBaseStats(spec.Q, st)
 	tree, err := opt.GreedyPlan(spec.Q, st)
 	if err != nil {
@@ -195,6 +214,10 @@ type OnDemand struct {
 	Sink obs.EventSink
 	// Parallelism caps the engine worker count (0 = GOMAXPROCS, 1 = serial).
 	Parallelism int
+	// BatchSize caps the engine's streaming pipeline batch (0 = the default
+	// 4096, negative = unbounded, i.e. full materialization between
+	// operators). Results are bit-identical at every setting.
+	BatchSize int
 }
 
 // Name implements Option.
@@ -204,7 +227,7 @@ func (OnDemand) Name() string { return "On Demand" }
 func (o OnDemand) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, _ int64) Outcome {
 	start := time.Now()
 	b := newBudget(timeout, maxTuples)
-	eng := newEngine(spec.Cat, o.Parallelism)
+	eng := newEngine(spec.Cat, o.Parallelism, o.BatchSize)
 	eng.Obs = obs.NewTracer(o.Sink)
 	st, err := opt.CollectOnDemand(spec.Q, eng, b)
 	if err != nil {
@@ -220,6 +243,10 @@ type Sampling struct {
 	Sink obs.EventSink
 	// Parallelism caps the engine worker count (0 = GOMAXPROCS, 1 = serial).
 	Parallelism int
+	// BatchSize caps the engine's streaming pipeline batch (0 = the default
+	// 4096, negative = unbounded, i.e. full materialization between
+	// operators). Results are bit-identical at every setting.
+	BatchSize int
 }
 
 // Name implements Option.
@@ -229,7 +256,7 @@ func (Sampling) Name() string { return "Sampling" }
 func (s Sampling) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, seed int64) Outcome {
 	start := time.Now()
 	b := newBudget(timeout, maxTuples)
-	eng := newEngine(spec.Cat, s.Parallelism)
+	eng := newEngine(spec.Cat, s.Parallelism, s.BatchSize)
 	eng.Obs = obs.NewTracer(s.Sink)
 	st, err := opt.CollectSampling(spec.Q, eng, b, s.Cfg, randx.New(randx.Derive(seed, "sampling")))
 	if err != nil {
@@ -243,6 +270,10 @@ type Skinner struct {
 	Cfg skinner.Config
 	// Parallelism caps the engine worker count (0 = GOMAXPROCS, 1 = serial).
 	Parallelism int
+	// BatchSize caps the engine's streaming pipeline batch (0 = the default
+	// 4096, negative = unbounded, i.e. full materialization between
+	// operators). Results are bit-identical at every setting.
+	BatchSize int
 }
 
 // Name implements Option.
@@ -254,7 +285,7 @@ func (s Skinner) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, s
 	b := newBudget(timeout, maxTuples)
 	cfg := s.Cfg
 	cfg.Seed = seed
-	eng := newEngine(spec.Cat, s.Parallelism)
+	eng := newEngine(spec.Cat, s.Parallelism, s.BatchSize)
 	res, err := skinner.Run(spec.Q, eng, b, cfg)
 	out := Outcome{Rows: res.Rows, Value: res.Value}
 	return finish(start, b, err, out)
@@ -312,6 +343,10 @@ type Monsoon struct {
 	Metrics *obs.Registry
 	// Parallelism caps the engine worker count (0 = GOMAXPROCS, 1 = serial).
 	Parallelism int
+	// BatchSize caps the engine's streaming pipeline batch (0 = the default
+	// 4096, negative = unbounded, i.e. full materialization between
+	// operators). Results are bit-identical at every setting.
+	BatchSize int
 	// PlanParallelism caps the OS threads the root-parallel MCTS planner
 	// runs its search shards on (0 = GOMAXPROCS, 1 = serial planning).
 	// Plans are bit-identical at every setting.
@@ -334,7 +369,7 @@ func (m Monsoon) Name() string {
 func (m Monsoon) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, seed int64) Outcome {
 	start := time.Now()
 	b := newBudget(timeout, maxTuples)
-	eng := newEngine(spec.Cat, m.Parallelism)
+	eng := newEngine(spec.Cat, m.Parallelism, m.BatchSize)
 	qs := &qerrSink{}
 	res, err := core.Run(spec.Q, eng, b, core.Config{
 		Prior:           m.Prior,
@@ -344,6 +379,7 @@ func (m Monsoon) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, s
 		Sink:            obs.Multi(m.Sink, qs),
 		Metrics:         m.Metrics,
 		Parallelism:     m.Parallelism,
+		BatchSize:       m.BatchSize,
 		PlanParallelism: m.PlanParallelism,
 		Cache:           m.Cache,
 	})
@@ -351,7 +387,7 @@ func (m Monsoon) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, s
 		Rows: res.Rows, Value: res.Value,
 		MCTSTime: res.PlanTime, SigmaTime: res.SigmaTime, ExecTime: res.ExecTime,
 		QErrJoins: qs.n, QErrGeo: qs.geo(), QErrMax: qs.max, QErrMisses: qs.misses,
-		CacheHits: res.CacheHits, CacheMisses: res.CacheMisses,
+		CacheHits: res.CacheHits, CacheMisses: res.CacheMisses, PeakBytes: res.PeakBytes,
 	}
 	return finish(start, b, err, out)
 }
@@ -360,6 +396,10 @@ func (m Monsoon) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, s
 type HandWritten struct {
 	// Parallelism caps the engine worker count (0 = GOMAXPROCS, 1 = serial).
 	Parallelism int
+	// BatchSize caps the engine's streaming pipeline batch (0 = the default
+	// 4096, negative = unbounded, i.e. full materialization between
+	// operators). Results are bit-identical at every setting.
+	BatchSize int
 }
 
 // Name implements Option.
@@ -369,7 +409,7 @@ func (HandWritten) Name() string { return "Hand-written" }
 func (o HandWritten) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, _ int64) Outcome {
 	start := time.Now()
 	b := newBudget(timeout, maxTuples)
-	eng := newEngine(spec.Cat, o.Parallelism)
+	eng := newEngine(spec.Cat, o.Parallelism, o.BatchSize)
 	rel, _, err := eng.ExecTree(spec.Q, spec.Hand, b)
 	if err != nil {
 		return finish(start, b, err, Outcome{})

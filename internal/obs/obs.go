@@ -152,6 +152,22 @@ func (sp *Span) SetNum(key string, v float64) *Span {
 	return sp
 }
 
+// AddNum accumulates into a numeric attribute, creating it at v. Nil-safe.
+// Streaming operators use this for attributes that grow batch by batch
+// (e.g. the total number of worker spans fanned out under one operator).
+func (sp *Span) AddNum(key string, v float64) *Span {
+	if sp == nil {
+		return nil
+	}
+	sp.mu.Lock()
+	if sp.Num == nil {
+		sp.Num = make(map[string]float64, 4)
+	}
+	sp.Num[key] += v
+	sp.mu.Unlock()
+	return sp
+}
+
 // SetStr attaches a string attribute. Nil-safe.
 func (sp *Span) SetStr(key, v string) *Span {
 	if sp == nil {
