@@ -363,11 +363,10 @@ func Run(q *Query, cat *Catalog, opts ...RunOption) (*Report, error) {
 	if err != nil {
 		return &Report{Result: *res}, err
 	}
-	rel, ok := eng.Materialized(q.Aliases().Key())
-	if !ok {
+	if res.Output == nil {
 		return &Report{Result: *res}, fmt.Errorf("monsoon: result not materialized")
 	}
-	return &Report{Result: *res, Output: rel}, nil
+	return &Report{Result: *res, Output: res.Output}, nil
 }
 
 // Session is the serving-path entry point: a handle over one catalog that

@@ -13,6 +13,12 @@
 // (/traces/recent) while it runs; -obs-linger keeps it up after the last
 // experiment so CI can scrape it. The -cpuprofile and -memprofile flags write
 // pprof profiles of the campaign for `go tool pprof`.
+//
+// With -load-url, the binary is a load generator instead: N concurrent
+// clients (-load-clients) each issue -load-requests queries round-robin
+// against a live monsoond, and the report gives p50/p95/p99 latency plus a
+// cross-client determinism check (exit 1 if any query returned different
+// result hashes to different clients).
 package main
 
 import (
@@ -22,8 +28,10 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
+	"monsoon/internal/daemon"
 	"monsoon/internal/harness"
 	"monsoon/internal/obs"
 	"monsoon/internal/obs/obshttp"
@@ -44,7 +52,37 @@ func main() {
 	planCache := flag.Bool("plan-cache", false, "share one plan cache across the campaign's Monsoon runs (hit rates in -metrics)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the campaign to FILE")
 	memProfile := flag.String("memprofile", "", "write a heap profile to FILE on exit")
+	loadURL := flag.String("load-url", "", "load-generator mode: hammer a live monsoond at this base URL (e.g. http://127.0.0.1:8080) instead of running experiments")
+	loadClients := flag.Int("load-clients", 8, "load-generator concurrent clients")
+	loadRequests := flag.Int("load-requests", 10, "load-generator requests per client")
+	loadQueries := flag.String("load-queries", "", "load-generator comma-separated query names (default: every query the daemon serves)")
+	loadTimeout := flag.Duration("load-timeout", 60*time.Second, "load-generator per-request HTTP timeout")
 	flag.Parse()
+
+	if *loadURL != "" {
+		var queries []string
+		for _, q := range strings.Split(*loadQueries, ",") {
+			if q = strings.TrimSpace(q); q != "" {
+				queries = append(queries, q)
+			}
+		}
+		ls, err := daemon.RunLoad(daemon.LoadConfig{
+			URL:      *loadURL,
+			Clients:  *loadClients,
+			Requests: *loadRequests,
+			Queries:  queries,
+			Timeout:  *loadTimeout,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "load generation failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(ls.String())
+		if len(ls.Divergent) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -118,11 +156,15 @@ func main() {
 	}
 	if *obsAddr != "" {
 		ring := obs.NewTraceRing(0)
-		addr, err := obshttp.Serve(*obsAddr, r.Metrics, ring)
+		srv, err := obshttp.Serve(*obsAddr, r.Metrics, ring)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cannot serve telemetry: %v\n", err)
 			os.Exit(2)
 		}
+		// Registered before the -obs-linger defer below, so (LIFO) the
+		// linger sleep finishes before the listener stops.
+		defer srv.Close()
+		addr := srv.Addr
 		fmt.Fprintf(os.Stderr, "telemetry at http://%s\n", addr)
 		if r.Sink != nil {
 			r.Sink = obs.Multi(r.Sink, ring)

@@ -108,11 +108,12 @@ func main() {
 	sink := jsonSink
 	if *obsAddr != "" {
 		ring := obs.NewTraceRing(0)
-		addr, err := obshttp.Serve(*obsAddr, reg, ring)
+		srv, err := obshttp.Serve(*obsAddr, reg, ring)
 		if err != nil {
 			fail("telemetry server: %v", err)
 		}
-		fmt.Fprintf(os.Stderr, "telemetry at http://%s\n", addr)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry at http://%s\n", srv.Addr)
 		sink = obs.Multi(jsonSink, ring)
 	}
 

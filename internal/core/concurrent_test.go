@@ -1,0 +1,251 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"monsoon/internal/engine"
+	"monsoon/internal/obs"
+	"monsoon/internal/plancache"
+	"monsoon/internal/stats"
+)
+
+// capture is everything one run observes that determinism promises to fix:
+// the result accounting, the executed multi-step plan, the legacy trace
+// lines, and (for span-level comparisons) the structured span stream.
+type capture struct {
+	res   *Result
+	lines []string
+	spans []*obs.Span
+}
+
+// spanKey renders the machine-independent part of a span — everything except
+// IDs and wall-clock timing, which legitimately differ between runs.
+func spanKey(sp *obs.Span) string {
+	return fmt.Sprintf("%s|%s|in=%d|out=%d|prod=%g|num=%v|str=%v",
+		sp.Kind, sp.Name, sp.RowsIn, sp.RowsOut, sp.Produced, sp.Num, sp.Str)
+}
+
+func spanKeys(spans []*obs.Span) []string {
+	keys := make([]string, len(spans))
+	for i, sp := range spans {
+		keys[i] = spanKey(sp)
+	}
+	return keys
+}
+
+// checkSameOutcome compares the parts of two captures that must match for any
+// two runs of the same (query, seed): accounting, trees, and trace lines.
+func checkSameOutcome(t *testing.T, label string, got, want capture) {
+	t.Helper()
+	g, w := got.res, want.res
+	if g.Value != w.Value || g.Rows != w.Rows || g.Produced != w.Produced {
+		t.Errorf("%s: value/rows/produced %g/%d/%g, solo %g/%d/%g",
+			label, g.Value, g.Rows, g.Produced, w.Value, w.Rows, w.Produced)
+	}
+	if g.Actions != w.Actions || g.Executes != w.Executes || g.SigmaOps != w.SigmaOps {
+		t.Errorf("%s: actions/executes/sigma %d/%d/%d, solo %d/%d/%d",
+			label, g.Actions, g.Executes, g.SigmaOps, w.Actions, w.Executes, w.SigmaOps)
+	}
+	if !reflect.DeepEqual(runTrees(g), runTrees(w)) {
+		t.Errorf("%s: executed trees %q, solo %q", label, runTrees(g), runTrees(w))
+	}
+	if !reflect.DeepEqual(got.lines, want.lines) {
+		t.Errorf("%s: trace lines\n%q\nsolo\n%q", label, got.lines, want.lines)
+	}
+	if g.Output == nil || w.Output == nil {
+		t.Fatalf("%s: missing output relation (got %v, solo %v)", label, g.Output, w.Output)
+	}
+	if g.Output.Count() != w.Output.Count() {
+		t.Errorf("%s: output rows %d, solo %d", label, g.Output.Count(), w.Output.Count())
+	}
+}
+
+// TestConcurrentSessionsBitIdentical is the shared-substrate determinism
+// gate this package's Exec-scope refactor exists for: N Sessions running
+// concurrently on ONE engine, sharing ONE plan cache and cloning ONE seed
+// statistics store, must each produce bit-identical results, executed trees,
+// and trace lines to a solo run of the same (query, seed) on a private
+// engine. Run under -race this also proves the sharing is memory-safe.
+func TestConcurrentSessionsBitIdentical(t *testing.T) {
+	seeds := []int64{7, 11, 42}
+	const perSeed = 2 // two racing sessions per seed exercises same-key cache races
+
+	solo := make(map[int64]capture)
+	seedStats := stats.New()
+	for _, seed := range seeds {
+		cat, q := fixture()
+		eng := engine.New(cat)
+		var lines []string
+		res, err := Run(q, eng, &engine.Budget{}, Config{
+			Seed: seed, Iterations: 300, Stats: seedStats.Clone(),
+			Trace: func(s string) { lines = append(lines, s) },
+		})
+		if err != nil {
+			t.Fatalf("solo seed %d: %v", seed, err)
+		}
+		solo[seed] = capture{res: res, lines: lines}
+	}
+
+	// One shared engine, catalog, and cache for every concurrent session.
+	cat, _ := fixture()
+	eng := engine.New(cat)
+	cache := plancache.New(0)
+
+	type slot struct {
+		seed int64
+		cap  capture
+		err  error
+	}
+	slots := make([]slot, len(seeds)*perSeed)
+	var wg sync.WaitGroup
+	for i := range slots {
+		slots[i].seed = seeds[i%len(seeds)]
+		wg.Add(1)
+		go func(sl *slot) {
+			defer wg.Done()
+			_, q := fixture() // private query value; tables resolve in the shared catalog
+			var lines []string
+			res, err := Run(q, eng, &engine.Budget{}, Config{
+				Seed: sl.seed, Iterations: 300, Stats: seedStats.Clone(),
+				Cache: cache, Trace: func(s string) { lines = append(lines, s) },
+			})
+			sl.cap, sl.err = capture{res: res, lines: lines}, err
+		}(&slots[i])
+	}
+	wg.Wait()
+
+	for i, sl := range slots {
+		if sl.err != nil {
+			t.Fatalf("concurrent session %d (seed %d): %v", i, sl.seed, sl.err)
+		}
+		checkSameOutcome(t, fmt.Sprintf("session %d (seed %d)", i, sl.seed), sl.cap, solo[sl.seed])
+		if hm := sl.cap.res.CacheHits + sl.cap.res.CacheMisses; hm != sl.cap.res.Actions {
+			t.Errorf("session %d: cache hits+misses = %d, want one consultation per action = %d",
+				i, hm, sl.cap.res.Actions)
+		}
+	}
+}
+
+// TestConcurrentSessionsSpanStreamsIdentical compares the full structured
+// span streams of concurrent cacheless sessions against solo runs: with the
+// engine and planner pinned serial (no KWorker or shard fan-out, no
+// cache_hit attributes), every span — kind, name, rows, produced, numeric
+// and string attributes, in emission order — must match the solo stream
+// exactly even while other sessions hammer the same engine.
+func TestConcurrentSessionsSpanStreamsIdentical(t *testing.T) {
+	seeds := []int64{7, 11, 42}
+	pinned := func(seed int64) Config {
+		return Config{Seed: seed, Iterations: 300, Parallelism: 1, PlanParallelism: 1}
+	}
+
+	solo := make(map[int64][]string)
+	for _, seed := range seeds {
+		cat, q := fixture()
+		eng := engine.New(cat)
+		col := &obs.Collector{}
+		cfg := pinned(seed)
+		cfg.Sink = col
+		if _, err := Run(q, eng, &engine.Budget{}, cfg); err != nil {
+			t.Fatalf("solo seed %d: %v", seed, err)
+		}
+		solo[seed] = spanKeys(col.Spans)
+	}
+
+	cat, _ := fixture()
+	eng := engine.New(cat)
+	streams := make([][]string, len(seeds))
+	errs := make([]error, len(seeds))
+	var wg sync.WaitGroup
+	for i, seed := range seeds {
+		wg.Add(1)
+		go func(i int, seed int64) {
+			defer wg.Done()
+			_, q := fixture()
+			col := &obs.Collector{}
+			cfg := pinned(seed)
+			cfg.Sink = col
+			_, errs[i] = Run(q, eng, &engine.Budget{}, cfg)
+			streams[i] = spanKeys(col.Spans)
+		}(i, seed)
+	}
+	wg.Wait()
+
+	for i, seed := range seeds {
+		if errs[i] != nil {
+			t.Fatalf("concurrent seed %d: %v", seed, errs[i])
+		}
+		if !reflect.DeepEqual(streams[i], solo[seed]) {
+			t.Errorf("seed %d: concurrent span stream diverged from solo", seed)
+			for j := 0; j < len(streams[i]) && j < len(solo[seed]); j++ {
+				if streams[i][j] != solo[seed][j] {
+					t.Errorf("  first divergence at span %d:\n  concurrent %s\n  solo       %s",
+						j, streams[i][j], solo[seed][j])
+					break
+				}
+			}
+			if len(streams[i]) != len(solo[seed]) {
+				t.Errorf("  stream lengths %d vs %d", len(streams[i]), len(solo[seed]))
+			}
+		}
+	}
+}
+
+// TestPartialWarmCacheMatchesColdRun pins the replay/planner RNG alignment:
+// a session that hits the cache for its first round but must plan later
+// rounds itself (the normal state when concurrent sessions race to populate
+// a shared cache) must make exactly the plan choices of a cache-free run.
+// Before RootPlanner.SkipCalls, the skipped Plan calls left the per-call RNG
+// streams misaligned and the hit-then-miss run settled on different plans.
+func TestPartialWarmCacheMatchesColdRun(t *testing.T) {
+	const seed, iterations = 11, 300
+
+	// Cache-free baseline.
+	cat, q := fixture()
+	var baseLines []string
+	base, err := Run(q, engine.New(cat), &engine.Budget{}, Config{
+		Seed: seed, Iterations: iterations,
+		Trace: func(s string) { baseLines = append(baseLines, s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Executes < 2 {
+		t.Fatalf("fixture run has %d rounds; need ≥2 to leave the cache partially warm", base.Executes)
+	}
+
+	// Populate the cache with ONLY the first round: drive a session through
+	// one plan/execute cycle and abandon it.
+	cache := plancache.New(0)
+	cat2, q2 := fixture()
+	s := NewSession(q2, engine.New(cat2), &engine.Budget{}, Config{
+		Seed: seed, Iterations: iterations, Cache: cache,
+	})
+	if execute, err := s.PlanRound(); err != nil || !execute {
+		t.Fatalf("first PlanRound: execute=%v err=%v", execute, err)
+	}
+	if err := s.ExecuteRound(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// The full run through the half-warm cache: first round replays, later
+	// rounds plan. Everything observable must match the cache-free baseline.
+	cat3, q3 := fixture()
+	var warmLines []string
+	warm, err := Run(q3, engine.New(cat3), &engine.Budget{}, Config{
+		Seed: seed, Iterations: iterations, Cache: cache,
+		Trace: func(s string) { warmLines = append(warmLines, s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CacheHits == 0 || warm.CacheMisses == 0 {
+		t.Fatalf("hits/misses = %d/%d; test needs a genuinely partial cache (both nonzero)",
+			warm.CacheHits, warm.CacheMisses)
+	}
+	checkSameOutcome(t, "half-warm run",
+		capture{res: warm, lines: warmLines}, capture{res: base, lines: baseLines})
+}

@@ -11,6 +11,7 @@ import (
 	"monsoon/internal/prior"
 	"monsoon/internal/query"
 	"monsoon/internal/stats"
+	"monsoon/internal/table"
 )
 
 // Config parameterizes one Monsoon run.
@@ -107,6 +108,10 @@ type Result struct {
 	// tree drain observed. Zero unless Config.Metrics is set (the engine
 	// samples runtime.MemStats only when a registry is attached).
 	PeakBytes float64
+	// Output is the materialized full join result, set by Finalize. Each
+	// session materializes into its own scope (never the shared engine), so
+	// callers that need the result rows read them here.
+	Output *table.Relation
 }
 
 // Run optimizes and executes q on eng with interleaved MCTS planning and

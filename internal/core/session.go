@@ -47,6 +47,7 @@ import (
 type Session struct {
 	q      *query.Query
 	eng    *engine.Engine
+	ex     *engine.Exec
 	budget *engine.Budget
 	cfg    Config
 
@@ -57,9 +58,8 @@ type Session struct {
 	tr      *obs.Tracer
 	res     *Result
 
-	qsp     *obs.Span
-	restore []func()
-	closed  bool
+	qsp    *obs.Span
+	closed bool
 	// now overrides the wall clock for deadline checks; tests use it to
 	// exercise the between-trees budget check deterministically. Nil means
 	// time.Now.
@@ -77,8 +77,10 @@ type Session struct {
 }
 
 // NewSession seeds the statistics store, builds the initial MDP state, and
-// wires the model, planner, and tracer. It mutates eng's observability and
-// parallelism hooks for the session's lifetime; Close restores them.
+// wires the model, planner, and tracer. The engine is never mutated: the
+// session executes through its own engine.Exec scope carrying the tracer,
+// parallelism/batch knobs, metrics registry, and materialization store, so
+// any number of sessions may share one engine concurrently.
 func NewSession(q *query.Query, eng *engine.Engine, budget *engine.Budget, cfg Config) *Session {
 	if cfg.Prior == nil {
 		cfg.Prior = prior.Default()
@@ -96,26 +98,15 @@ func NewSession(q *query.Query, eng *engine.Engine, budget *engine.Budget, cfg C
 	s.state = NewInitialState(q, st)
 
 	s.tr = obs.NewTracer(obs.Multi(cfg.Sink, obs.MessageSink(cfg.Trace)))
-	prevObs := eng.Obs
-	eng.Obs = s.tr
-	s.restore = append(s.restore, func() { eng.Obs = prevObs })
-	if cfg.Parallelism != 0 {
-		prevPar := eng.Parallelism
-		eng.Parallelism = cfg.Parallelism
-		s.restore = append(s.restore, func() { eng.Parallelism = prevPar })
-	}
-	if cfg.BatchSize != 0 {
-		prevBatch := eng.BatchSize
-		eng.BatchSize = cfg.BatchSize
-		s.restore = append(s.restore, func() { eng.BatchSize = prevBatch })
-	}
-	if cfg.Metrics != nil {
-		// Attaching the registry also switches on the engine's peak-memory
-		// sampling (Result.PeakBytes, the monsoon.exec.peak_bytes gauge).
-		prevMetrics := eng.Metrics
-		eng.Metrics = cfg.Metrics
-		s.restore = append(s.restore, func() { eng.Metrics = prevMetrics })
-	}
+	// Attaching cfg.Metrics also switches on the engine's peak-memory
+	// sampling (Result.PeakBytes, the monsoon.exec.peak_bytes gauge).
+	// Zero-valued knobs fall back to the engine's defaults inside NewExec.
+	s.ex = eng.NewExec(engine.ExecConfig{
+		Obs:         s.tr,
+		Parallelism: cfg.Parallelism,
+		BatchSize:   cfg.BatchSize,
+		Metrics:     cfg.Metrics,
+	})
 
 	s.model = &Model{
 		Q: q, Prior: cfg.Prior,
@@ -145,8 +136,8 @@ func NewSession(q *query.Query, eng *engine.Engine, budget *engine.Budget, cfg C
 // returns. Valid (partially filled) even after an error.
 func (s *Session) Result() *Result { return s.res }
 
-// Close restores the engine hooks NewSession replaced and ends the query
-// span with the final accounting. Idempotent.
+// Close ends the query span with the final accounting and publishes the
+// plan-cache pressure gauges. Idempotent.
 func (s *Session) Close() {
 	if s.closed {
 		return
@@ -154,21 +145,20 @@ func (s *Session) Close() {
 	s.closed = true
 	if s.cfg.Cache != nil && s.cfg.Metrics != nil {
 		// Cache pressure next to the hit/miss counters: entries and
-		// cumulative evictions are cache-wide (shared across sessions), as
-		// last-write-wins gauges.
-		cs := s.cfg.Cache.Stats()
-		s.cfg.Metrics.Gauge("monsoon.plancache.entries").Set(float64(cs.Entries))
-		s.cfg.Metrics.Gauge("monsoon.plancache.evictions").Set(float64(cs.Evictions))
+		// cumulative evictions are cache-wide (shared across sessions).
+		// Published under the cache's own lock so concurrent closers
+		// serialize and the final gauge value is the newest cache state,
+		// not whichever stale snapshot happened to land last.
+		s.cfg.Cache.PublishGauges(func(entries, evictions float64) {
+			s.cfg.Metrics.Gauge("monsoon.plancache.entries").Set(entries)
+			s.cfg.Metrics.Gauge("monsoon.plancache.evictions").Set(evictions)
+		})
 	}
 	s.qsp.SetRows(0, s.res.Rows).SetProduced(s.res.Produced).
 		SetNum("actions", float64(s.res.Actions)).
 		SetNum("executes", float64(s.res.Executes)).
 		SetNum("sigma_ops", float64(s.res.SigmaOps)).
 		End()
-	for i := len(s.restore) - 1; i >= 0; i-- {
-		s.restore[i]()
-	}
-	s.restore = nil
 }
 
 func (s *Session) overDeadline() bool {
@@ -308,6 +298,13 @@ func (s *Session) replayRound(seq []Action) bool {
 	}
 	s.res.CacheHits++
 	s.cfg.Metrics.Counter("monsoon.plancache.hits").Inc()
+	// Each replayed action stands in for one Plan call (the recording run
+	// picked each with its own call); advance the planner's call counter to
+	// match, so a later miss plans from the same derived RNG streams a
+	// cache-free run would use. Without this, a partially warm cache — the
+	// normal state when concurrent sessions race to populate it — made
+	// hit-then-miss runs diverge from solo runs.
+	s.planner.SkipCalls(len(seq))
 	for i, a := range seq {
 		psp := s.tr.Start(obs.KPlan, "mcts")
 		psp.SetNum("rollouts", 0).SetStr(obs.AttrCacheHit, "true").End()
@@ -379,7 +376,7 @@ func (s *Session) ExecuteRound() error {
 			s.cfg.Metrics.Counter("monsoon.sigma_ops").Inc()
 		}
 		t1 := time.Now()
-		_, er, err := s.eng.ExecTree(s.q, t.Tree, s.budget)
+		_, er, err := s.ex.ExecTree(s.q, t.Tree, s.budget)
 		elapsed := time.Since(t1)
 		s.res.SigmaTime += er.SigmaTime
 		s.res.ExecTime += elapsed - er.SigmaTime
@@ -417,7 +414,7 @@ func (s *Session) ExecuteRound() error {
 // result and returns the completed Result. Call once the state is terminal
 // (PlanRound returned false without error).
 func (s *Session) Finalize() (*Result, error) {
-	rel, ok := s.eng.Materialized(s.q.Aliases().Key())
+	rel, ok := s.ex.Materialized(s.q.Aliases().Key())
 	if !ok {
 		return s.res, fmt.Errorf("core: terminal state but result not materialized")
 	}
@@ -430,6 +427,7 @@ func (s *Session) Finalize() (*Result, error) {
 	agg.SetRows(rel.Count(), 1).End()
 	s.res.Value = v
 	s.res.Rows = rel.Count()
+	s.res.Output = rel
 	return s.res, nil
 }
 

@@ -1,0 +1,272 @@
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"monsoon/internal/table"
+	"monsoon/internal/value"
+)
+
+// The daemon under test: built once (tiny TPC-H generation is the expensive
+// part) and shared by every test. Tests that mutate shared state (admission
+// semaphore) restore it before returning.
+var (
+	tsOnce sync.Once
+	tsSrv  *Server
+	tsErr  error
+)
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	tsOnce.Do(func() {
+		// MaxConcurrent must exceed the concurrency test's 9 racing clients
+		// so only TestQueryAdmissionFull (which fills the slots itself) sees
+		// 429s.
+		// The generous deadline ceiling keeps slow -race runs from tripping
+		// the scale's default budget; TestQueryBudgetExceeded tightens its
+		// own request instead.
+		tsSrv, tsErr = New(Config{Bench: "tpch", Seed: 1, MaxConcurrent: 16,
+			DefaultTimeout: 5 * time.Minute})
+	})
+	if tsErr != nil {
+		t.Fatalf("building test daemon: %v", tsErr)
+	}
+	return tsSrv
+}
+
+func doJSON(t *testing.T, h http.Handler, method, path, body string) (*httptest.ResponseRecorder, QueryResponse) {
+	t.Helper()
+	var rd *strings.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	} else {
+		rd = strings.NewReader("")
+	}
+	req := httptest.NewRequest(method, path, rd)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var qr QueryResponse
+	_ = json.Unmarshal(rec.Body.Bytes(), &qr)
+	return rec, qr
+}
+
+// TestQueryEndpointDeterministic: the serving-path determinism contract as a
+// client sees it — repeated requests for the same query return the identical
+// result hash, and the replay goes through the shared plan cache.
+func TestQueryEndpointDeterministic(t *testing.T) {
+	h := testServer(t).Handler()
+	rec1, qr1 := doJSON(t, h, "GET", "/query?query=tpch-q3", "")
+	if rec1.Code != http.StatusOK {
+		t.Fatalf("first request: status %d: %s", rec1.Code, rec1.Body.String())
+	}
+	if qr1.ResultHash == "" || !strings.HasPrefix(qr1.ResultHash, "fnv1a:") {
+		t.Fatalf("result hash %q, want fnv1a:...", qr1.ResultHash)
+	}
+	if qr1.Rows <= 0 || qr1.Executes <= 0 {
+		t.Errorf("implausible result: rows=%d executes=%d", qr1.Rows, qr1.Executes)
+	}
+
+	rec2, qr2 := doJSON(t, h, "GET", "/query?query=tpch-q3", "")
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("second request: status %d", rec2.Code)
+	}
+	if qr2.ResultHash != qr1.ResultHash {
+		t.Errorf("repeat request hash %s, first %s — serving path not deterministic",
+			qr2.ResultHash, qr1.ResultHash)
+	}
+	if qr2.Rows != qr1.Rows || qr2.Aggregate != qr1.Aggregate || qr2.Produced != qr1.Produced {
+		t.Errorf("repeat accounting diverged: %+v vs %+v", qr2, qr1)
+	}
+	if qr2.CacheHits == 0 {
+		t.Errorf("repeat request made no cache hits (misses=%d); shared plan cache not engaged",
+			qr2.CacheMisses)
+	}
+	if qr2.Seed != qr1.Seed {
+		t.Errorf("derived per-query seed unstable: %d vs %d", qr2.Seed, qr1.Seed)
+	}
+}
+
+// TestQueryConcurrentClientsIdenticalHashes is the in-process version of the
+// monsoon-bench load generator's determinism check: many goroutines racing
+// the same named queries through one handler must all see identical hashes.
+func TestQueryConcurrentClientsIdenticalHashes(t *testing.T) {
+	h := testServer(t).Handler()
+	queries := []string{"tpch-q3", "tpch-q5", "tpch-q10"}
+	const perQuery = 3
+
+	type got struct {
+		query, hash string
+		code        int
+	}
+	results := make([]got, len(queries)*perQuery)
+	var wg sync.WaitGroup
+	for i := range results {
+		q := queries[i%len(queries)]
+		wg.Add(1)
+		go func(i int, q string) {
+			defer wg.Done()
+			rec, qr := doJSON(t, h, "GET", "/query?query="+q, "")
+			results[i] = got{query: q, hash: qr.ResultHash, code: rec.Code}
+		}(i, q)
+	}
+	wg.Wait()
+
+	hashes := make(map[string]map[string]bool)
+	for _, r := range results {
+		if r.code != http.StatusOK {
+			t.Fatalf("%s: status %d", r.query, r.code)
+		}
+		if hashes[r.query] == nil {
+			hashes[r.query] = make(map[string]bool)
+		}
+		hashes[r.query][r.hash] = true
+	}
+	for q, hs := range hashes {
+		if len(hs) != 1 {
+			t.Errorf("%s: %d distinct hashes across concurrent clients: %v", q, len(hs), hs)
+		}
+	}
+}
+
+// TestQueryBadRequests pins the 4xx surface: every malformed request is
+// refused with a JSON error and never reaches execution.
+func TestQueryBadRequests(t *testing.T) {
+	h := testServer(t).Handler()
+	cases := []struct {
+		name, method, path, body string
+		want                     int
+	}{
+		{"no query named", "GET", "/query", "", http.StatusBadRequest},
+		{"unknown query", "GET", "/query?query=no-such-query", "", http.StatusBadRequest},
+		{"malformed body", "POST", "/query", "{not json", http.StatusBadRequest},
+		{"empty body object", "POST", "/query", "{}", http.StatusBadRequest},
+		{"bad sql", "POST", "/query", `{"sql": "SELEC COUNT(*) FROM nope"}`, http.StatusBadRequest},
+		{"bad method", "DELETE", "/query", "", http.StatusMethodNotAllowed},
+	}
+	for _, c := range cases {
+		rec, _ := doJSON(t, h, c.method, c.path, c.body)
+		if rec.Code != c.want {
+			t.Errorf("%s: status %d, want %d (%s)", c.name, rec.Code, c.want, rec.Body.String())
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body not JSON with error field: %s", c.name, rec.Body.String())
+		}
+	}
+}
+
+// TestQueryAdhocSQL: the /query sql path parses and executes an ad-hoc
+// statement against the primary catalog.
+func TestQueryAdhocSQL(t *testing.T) {
+	h := testServer(t).Handler()
+	rec, qr := doJSON(t, h, "POST", "/query",
+		`{"sql": "SELECT COUNT(*) FROM lineitem l WHERE l.l_quantity = 1", "name": "adhoc-count"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("adhoc sql: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if qr.Query != "adhoc-count" {
+		t.Errorf("query label %q, want adhoc-count", qr.Query)
+	}
+	if qr.ResultHash == "" {
+		t.Error("adhoc result carries no hash")
+	}
+}
+
+// TestQueryBudgetExceeded: a request-tightened deadline that cannot possibly
+// be met maps to 504 with the budget error in the body.
+func TestQueryBudgetExceeded(t *testing.T) {
+	h := testServer(t).Handler()
+	rec, qr := doJSON(t, h, "POST", "/query", `{"query": "tpch-q3", "timeout_ms": 1}`)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (%s)", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(qr.Error, "budget") {
+		t.Errorf("error %q does not name the budget", qr.Error)
+	}
+}
+
+// TestQueryAdmissionFull: with every admission slot held, a valid request is
+// refused with 429 + Retry-After instead of queueing, and the slots'
+// release restores service.
+func TestQueryAdmissionFull(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+	for i := 0; i < cap(s.sem); i++ {
+		s.sem <- struct{}{}
+	}
+	rec, _ := doJSON(t, h, "GET", "/query?query=tpch-q2", "")
+	for i := 0; i < cap(s.sem); i++ {
+		<-s.sem
+	}
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d with full admission queue, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+
+	rec2, _ := doJSON(t, h, "GET", "/query?query=tpch-q2", "")
+	if rec2.Code != http.StatusOK {
+		t.Errorf("status %d after slots released, want 200", rec2.Code)
+	}
+}
+
+// TestQueriesAndHealthRoutes: the discovery and liveness endpoints, plus the
+// mounted telemetry routes, answer on the daemon handler.
+func TestQueriesAndHealthRoutes(t *testing.T) {
+	h := testServer(t).Handler()
+
+	rec, _ := doJSON(t, h, "GET", "/queries", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/queries: status %d", rec.Code)
+	}
+	var names []string
+	if err := json.Unmarshal(rec.Body.Bytes(), &names); err != nil {
+		t.Fatalf("/queries body: %v", err)
+	}
+	if len(names) == 0 || names[0] != "tpch-q10" {
+		t.Errorf("/queries = %v, want sorted list starting with tpch-q10", names)
+	}
+
+	rec, _ = doJSON(t, h, "GET", "/healthz", "")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"status":"ok"`) {
+		t.Errorf("/healthz: %d %s", rec.Code, rec.Body.String())
+	}
+
+	rec, _ = doJSON(t, h, "GET", "/metrics", "")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "monsoond_requests") {
+		t.Errorf("/metrics missing daemon counters:\n%.300s", rec.Body.String())
+	}
+	rec, _ = doJSON(t, h, "GET", "/debug/vars", "")
+	if rec.Code != http.StatusOK {
+		t.Errorf("/debug/vars: status %d", rec.Code)
+	}
+}
+
+// TestHashRelation pins the digest: stable empty-input rendering, field/row
+// separator sensitivity, and process-independence (pure function of values).
+func TestHashRelation(t *testing.T) {
+	if got := hashRelation(nil); got != fmt.Sprintf("fnv1a:%016x", uint64(0xcbf29ce484222325)) {
+		t.Errorf("nil relation hash %s, want the FNV-1a offset basis", got)
+	}
+	rel := func(rows ...table.Row) *table.Relation {
+		return &table.Relation{Rows: rows}
+	}
+	a := rel(table.Row{value.Int(1), value.Int(2)})
+	b := rel(table.Row{value.Int(1)}, table.Row{value.Int(2)})
+	if hashRelation(a) == hashRelation(b) {
+		t.Error("row boundaries do not affect the hash: [1,2] aliases [1],[2]")
+	}
+	if hashRelation(a) != hashRelation(rel(table.Row{value.Int(1), value.Int(2)})) {
+		t.Error("equal relations hash differently")
+	}
+}

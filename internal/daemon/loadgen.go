@@ -1,0 +1,218 @@
+// Load generator for a live monsoond: N concurrent clients hammering /query
+// round-robin over a query list, reporting latency percentiles and verifying
+// cross-client result determinism (every client must see the same result_hash
+// for the same query — the serving-path guarantee the per-session Exec
+// scopes, cloned statistics, and deterministic per-query seeds exist to
+// provide). monsoon-bench's -load-url mode is a thin wrapper over RunLoad.
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// LoadConfig parameterizes one load-generation run.
+type LoadConfig struct {
+	// URL is the daemon base address, e.g. "http://127.0.0.1:8080".
+	URL string
+	// Clients is the number of concurrent clients; 0 defaults to 8.
+	Clients int
+	// Requests is the per-client request count; 0 defaults to 10.
+	Requests int
+	// Queries is the round-robin query list. Empty fetches /queries from
+	// the daemon and uses every named query.
+	Queries []string
+	// Timeout bounds each HTTP request; 0 defaults to 60s.
+	Timeout time.Duration
+}
+
+// LoadStats summarizes a load run.
+type LoadStats struct {
+	// Requests, OK, Rejected, Failed partition the issued requests:
+	// Rejected counts 429s (admission control working as designed),
+	// Failed everything else non-200.
+	Requests, OK, Rejected, Failed int
+	// Elapsed is the whole run's wall time; Throughput is OK/Elapsed.
+	Elapsed    time.Duration
+	Throughput float64
+	// P50, P95, P99, Max summarize successful-request latency.
+	P50, P95, P99, Max time.Duration
+	// Divergent lists queries for which different requests saw different
+	// result hashes — empty unless cross-client determinism is broken (or
+	// the daemon runs with -harden-stats, which documents this trade).
+	Divergent []string
+	// Hashes maps each query to the distinct result hashes observed.
+	Hashes map[string][]string
+}
+
+// String renders the stats as the one-screen report monsoon-bench prints.
+func (ls *LoadStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "requests: %d (%d ok, %d rejected, %d failed) in %v (%.1f qps)\n",
+		ls.Requests, ls.OK, ls.Rejected, ls.Failed, ls.Elapsed.Round(time.Millisecond), ls.Throughput)
+	fmt.Fprintf(&b, "latency: p50 %v  p95 %v  p99 %v  max %v\n",
+		ls.P50.Round(time.Microsecond), ls.P95.Round(time.Microsecond),
+		ls.P99.Round(time.Microsecond), ls.Max.Round(time.Microsecond))
+	if len(ls.Divergent) == 0 {
+		fmt.Fprintf(&b, "determinism: %d queries, zero cross-client divergence\n", len(ls.Hashes))
+	} else {
+		fmt.Fprintf(&b, "determinism: DIVERGENT results for %s\n", strings.Join(ls.Divergent, ", "))
+	}
+	return b.String()
+}
+
+// RunLoad drives the daemon at cfg.URL and returns the latency and
+// determinism summary. Only transport-level problems return an error;
+// per-request failures are counted in the stats.
+func RunLoad(cfg LoadConfig) (*LoadStats, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 8
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 10
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 60 * time.Second
+	}
+	base := strings.TrimRight(cfg.URL, "/")
+	client := &http.Client{Timeout: cfg.Timeout}
+	queries := cfg.Queries
+	if len(queries) == 0 {
+		var err error
+		if queries, err = fetchQueryNames(client, base); err != nil {
+			return nil, err
+		}
+	}
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("daemon: no queries to issue")
+	}
+
+	type sample struct {
+		query  string
+		hash   string
+		status int
+		dur    time.Duration
+		ok     bool
+	}
+	samples := make([][]sample, cfg.Clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			out := make([]sample, 0, cfg.Requests)
+			for i := 0; i < cfg.Requests; i++ {
+				// Stagger client start points so the round-robin mixes
+				// queries across clients instead of phase-locking them.
+				qname := queries[(c+i)%len(queries)]
+				t0 := time.Now()
+				hash, status, err := issueQuery(client, base, qname)
+				d := time.Since(t0)
+				out = append(out, sample{
+					query: qname, hash: hash, status: status, dur: d,
+					ok: err == nil && status == http.StatusOK,
+				})
+			}
+			samples[c] = out
+		}(c)
+	}
+	wg.Wait()
+
+	ls := &LoadStats{Elapsed: time.Since(start), Hashes: make(map[string][]string)}
+	seen := make(map[string]map[string]bool)
+	var lats []time.Duration
+	for _, cs := range samples {
+		for _, sm := range cs {
+			ls.Requests++
+			switch {
+			case sm.ok:
+				ls.OK++
+				lats = append(lats, sm.dur)
+				if seen[sm.query] == nil {
+					seen[sm.query] = make(map[string]bool)
+				}
+				seen[sm.query][sm.hash] = true
+			case sm.status == http.StatusTooManyRequests:
+				ls.Rejected++
+			default:
+				ls.Failed++
+			}
+		}
+	}
+	for q, hs := range seen {
+		for h := range hs {
+			ls.Hashes[q] = append(ls.Hashes[q], h)
+		}
+		sort.Strings(ls.Hashes[q])
+		if len(hs) > 1 {
+			ls.Divergent = append(ls.Divergent, q)
+		}
+	}
+	sort.Strings(ls.Divergent)
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		ls.P50 = percentile(lats, 0.50)
+		ls.P95 = percentile(lats, 0.95)
+		ls.P99 = percentile(lats, 0.99)
+		ls.Max = lats[len(lats)-1]
+	}
+	if ls.Elapsed > 0 {
+		ls.Throughput = float64(ls.OK) / ls.Elapsed.Seconds()
+	}
+	return ls, nil
+}
+
+// percentile reads the pth quantile from an ascending latency slice
+// (nearest-rank).
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func fetchQueryNames(client *http.Client, base string) ([]string, error) {
+	resp, err := client.Get(base + "/queries")
+	if err != nil {
+		return nil, fmt.Errorf("daemon: fetching /queries: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("daemon: /queries returned %s", resp.Status)
+	}
+	var names []string
+	if err := json.NewDecoder(resp.Body).Decode(&names); err != nil {
+		return nil, fmt.Errorf("daemon: decoding /queries: %w", err)
+	}
+	return names, nil
+}
+
+// issueQuery performs one GET /query round-trip, returning the result hash
+// and HTTP status.
+func issueQuery(client *http.Client, base, name string) (hash string, status int, err error) {
+	resp, err := client.Get(base + "/query?query=" + name)
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	var qr QueryResponse
+	if derr := json.NewDecoder(resp.Body).Decode(&qr); derr != nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return "", resp.StatusCode, derr
+	}
+	return qr.ResultHash, resp.StatusCode, nil
+}

@@ -110,12 +110,12 @@ type ExecResult struct {
 	PeakBytes float64
 }
 
-// Engine executes plans for one dataset. It owns the materialized-expression
-// store that backs the MDP's Re set.
-type Engine struct {
-	Cat *table.Catalog
-	// HLLPrecision configures Σ sketches; 0 means the default (14).
-	HLLPrecision uint8
+// ExecConfig is the per-execution observation and tuning state. It used to
+// live as mutable fields on Engine, which made two concurrent Sessions on one
+// shared engine clobber each other's tracer and knobs; now every Session (and
+// every daemon request) carries its own copy inside an Exec scope, and the
+// engine's immutable parts (catalog, HLL precision) stay shared.
+type ExecConfig struct {
 	// Obs, when non-nil, receives one span per operator (scan, reuse,
 	// hash-build/probe, nested loop, Σ pass) with rows-in/rows-out and wall
 	// time. Nil (the default) costs nothing: every tracer call no-ops.
@@ -138,27 +138,100 @@ type Engine struct {
 	// tree drains, sampled every few batches via runtime.ReadMemStats.
 	// Nil (the default) keeps memory sampling entirely off the hot path.
 	Metrics *obs.Registry
+}
 
+// Exec is one execution scope over a shared Engine: its own ExecConfig plus
+// its own materialized-expression store (the MDP's Re set). Scopes are cheap
+// to create, not safe for concurrent use individually, and fully independent
+// of each other — N Sessions over one Engine get N Execs and never share
+// mutable state.
+type Exec struct {
+	ExecConfig
+	eng  *Engine
 	mats map[string]*table.Relation
+}
+
+// Engine executes plans for one dataset. The catalog and HLL precision are
+// shared, read-only state; Obs/Parallelism/BatchSize/Metrics are convenience
+// defaults for the single-tenant calls below (ExecTree and friends on Engine
+// itself), re-read on every call. Concurrent users must instead carve out
+// isolated scopes with NewExec.
+type Engine struct {
+	Cat *table.Catalog
+	// HLLPrecision configures Σ sketches; 0 means the default (14).
+	HLLPrecision uint8
+	// Obs, Parallelism, BatchSize, Metrics configure the engine's default
+	// execution scope; see ExecConfig for their semantics. Mutating them
+	// between single-tenant queries is fine; mutating them while another
+	// goroutine executes through the same Engine is not — use NewExec.
+	Obs         *obs.Tracer
+	Parallelism int
+	BatchSize   int
+	Metrics     *obs.Registry
+
+	def *Exec
 }
 
 // New creates an engine over a catalog of stored base tables.
 func New(cat *table.Catalog) *Engine {
-	return &Engine{Cat: cat, mats: make(map[string]*table.Relation)}
+	e := &Engine{Cat: cat}
+	e.def = &Exec{eng: e, mats: make(map[string]*table.Relation)}
+	return e
 }
 
+// NewExec creates an isolated execution scope: the given config plus a fresh
+// materialization store. Zero-valued config fields fall back to the engine's
+// defaults (matching the old Session behavior of only overriding fields the
+// caller set); note that this means an Exec cannot select "0 = machine width"
+// parallelism when the engine default is nonzero — pass the explicit width
+// instead.
+func (e *Engine) NewExec(cfg ExecConfig) *Exec {
+	if cfg.Obs == nil {
+		cfg.Obs = e.Obs
+	}
+	if cfg.Parallelism == 0 {
+		cfg.Parallelism = e.Parallelism
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = e.BatchSize
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = e.Metrics
+	}
+	return &Exec{ExecConfig: cfg, eng: e, mats: make(map[string]*table.Relation)}
+}
+
+// exec syncs the default scope's config from the engine's public fields and
+// returns it — the single-tenant compatibility path behind Engine.ExecTree.
+func (e *Engine) exec() *Exec {
+	e.def.ExecConfig = ExecConfig{Obs: e.Obs, Parallelism: e.Parallelism, BatchSize: e.BatchSize, Metrics: e.Metrics}
+	return e.def
+}
+
+// Engine returns the shared engine this scope executes against.
+func (e *Exec) Engine() *Engine { return e.eng }
+
 // Materialized returns the materialized relation for an expression key.
-func (e *Engine) Materialized(key string) (*table.Relation, bool) {
+func (e *Exec) Materialized(key string) (*table.Relation, bool) {
 	r, ok := e.mats[key]
 	return r, ok
 }
 
 // Register stores a materialized relation under an expression key. ExecTree
 // registers roots automatically; tests and the baselines use this directly.
-func (e *Engine) Register(key string, r *table.Relation) { e.mats[key] = r }
+func (e *Exec) Register(key string, r *table.Relation) { e.mats[key] = r }
 
 // Reset drops all materialized intermediates (between queries).
-func (e *Engine) Reset() { e.mats = make(map[string]*table.Relation) }
+func (e *Exec) Reset() { e.mats = make(map[string]*table.Relation) }
+
+// Materialized reads the default scope's store (single-tenant path).
+func (e *Engine) Materialized(key string) (*table.Relation, bool) { return e.def.Materialized(key) }
+
+// Register writes into the default scope's store (single-tenant path).
+func (e *Engine) Register(key string, r *table.Relation) { e.def.Register(key, r) }
+
+// Reset clears the default scope's store (single-tenant path).
+func (e *Engine) Reset() { e.def.Reset() }
 
 // SeedBaseStats records the raw cardinality of every base table referenced
 // by q into st — the statistics assumed known at the start (§4.1).
@@ -168,13 +241,20 @@ func (e *Engine) SeedBaseStats(q *query.Query, st *stats.Store) {
 	}
 }
 
+// ExecTree executes one plan tree through the default scope, re-reading the
+// engine's Obs/Parallelism/BatchSize/Metrics fields — the single-tenant path
+// the CLIs and tests use. Concurrent callers must use NewExec scopes instead.
+func (e *Engine) ExecTree(q *query.Query, n *plan.Node, budget *Budget) (*table.Relation, *ExecResult, error) {
+	return e.exec().ExecTree(q, n, budget)
+}
+
 // ExecTree executes one plan tree through the streaming batch pipeline
 // (stream.go), materializes and registers its root, and returns the result
 // relation plus observations. The root materialize is a deliberate pipeline
 // breaker: the MDP's Re store and the plan cache key whole relations. Budget
 // overruns abort with ErrBudget; partial results are discarded but counts
 // already observed are returned so the harness can report progress.
-func (e *Engine) ExecTree(q *query.Query, n *plan.Node, budget *Budget) (*table.Relation, *ExecResult, error) {
+func (e *Exec) ExecTree(q *query.Query, n *plan.Node, budget *Budget) (*table.Relation, *ExecResult, error) {
 	res := &ExecResult{Counts: make(map[string]float64), Times: make(map[string]time.Duration)}
 	msp := e.Obs.Start(obs.KMaterialize, n.String()).SetStr("expr", n.Key())
 	it, schema, err := e.open(q, n, budget, res, nil)
@@ -273,8 +353,8 @@ func passResiduals(row table.Row, residuals []residual) bool {
 // collectSigma runs the Σ pass: one more scan of the materialized result,
 // feeding every evaluable UDF term through an HLL sketch. Identity terms are
 // included — they are just another opaque function to the optimizer.
-func (e *Engine) collectSigma(q *query.Query, n *plan.Node, rel *table.Relation, budget *Budget, res *ExecResult) error {
-	p := e.HLLPrecision
+func (e *Exec) collectSigma(q *query.Query, n *plan.Node, rel *table.Relation, budget *Budget, res *ExecResult) error {
+	p := e.eng.HLLPrecision
 	if p == 0 {
 		p = 14
 	}

@@ -35,7 +35,7 @@ const (
 // rows: 0 means runtime.GOMAXPROCS(0), 1 forces the serial legacy path, and
 // any setting degrades to 1 when the input is too small to be worth
 // splitting.
-func (e *Engine) workers(n int) int {
+func (e *Exec) workers(n int) int {
 	w := e.Parallelism
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
@@ -67,7 +67,7 @@ func splitRows(n, w int) [][2]int {
 }
 
 // workerRunner fans a partitioned loop body out over w workers over n rows.
-// runWorkers is the plain implementation; Engine.tracedRunner layers
+// runWorkers is the plain implementation; Exec.tracedRunner layers
 // per-worker spans on top of the same fan-out.
 type workerRunner func(n, w int, fn func(worker, lo, hi int) error) error
 
@@ -102,7 +102,7 @@ func runWorkers(n, w int, fn func(worker, lo, hi int) error) error {
 // span's duration is the worker's own measured busy time (EndIn), not the
 // coordinator's wall clock. Worker *counts* still follow GOMAXPROCS, which is
 // why KWorker is the one machine-dependent span kind.
-func (e *Engine) tracedRunner(op *obs.Span) workerRunner {
+func (e *Exec) tracedRunner(op *obs.Span) workerRunner {
 	if op == nil || !e.Obs.Active() {
 		return runWorkers
 	}

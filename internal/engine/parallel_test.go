@@ -213,18 +213,18 @@ func TestSplitRows(t *testing.T) {
 func TestWorkersKnob(t *testing.T) {
 	e := New(table.NewCatalog())
 	e.Parallelism = 1
-	if w := e.workers(1 << 20); w != 1 {
+	if w := e.exec().workers(1 << 20); w != 1 {
 		t.Errorf("Parallelism 1: workers = %d", w)
 	}
 	e.Parallelism = 8
-	if w := e.workers(100); w != 1 {
+	if w := e.exec().workers(100); w != 1 {
 		t.Errorf("tiny input: workers = %d, want 1", w)
 	}
-	if w := e.workers(parallelMinRows); w < 2 || w > parallelMinRows/parallelMinChunk {
+	if w := e.exec().workers(parallelMinRows); w < 2 || w > parallelMinRows/parallelMinChunk {
 		t.Errorf("threshold input: workers = %d", w)
 	}
 	e.Parallelism = 0
-	if w := e.workers(1 << 20); w < 1 {
+	if w := e.exec().workers(1 << 20); w < 1 {
 		t.Errorf("default parallelism: workers = %d", w)
 	}
 }

@@ -45,7 +45,7 @@ const unboundedBatch = int(^uint(0) >> 2)
 // batch resolves the engine's BatchSize knob: 0 = DefaultBatchSize,
 // negative = unbounded (each operator emits its whole output as one batch,
 // reproducing the materialized engine's memory profile exactly).
-func (e *Engine) batch() int {
+func (e *Exec) batch() int {
 	switch {
 	case e.BatchSize < 0:
 		return unboundedBatch
@@ -60,7 +60,7 @@ func (e *Engine) batch() int {
 // scan over a large base table fans out with the same worker count the
 // materialized engine used (a bare batch of 4096 rows would cap the fan-out
 // at 4 workers regardless of Parallelism).
-func (e *Engine) scanSlab() int {
+func (e *Exec) scanSlab() int {
 	slab := e.batch()
 	w := e.Parallelism
 	if w <= 0 {
@@ -126,7 +126,7 @@ func (t *nodeIter) Close(err error) { t.inner.Close(err) }
 // root (where the ambient tracer stack — holding the KMaterialize span —
 // supplies the parent). Open time is charged to the node's inclusive time,
 // like the materialized engine's single timestamp around the whole node.
-func (e *Engine) open(q *query.Query, n *plan.Node, budget *Budget, res *ExecResult, parent *obs.Span) (rowIter, *table.Schema, error) {
+func (e *Exec) open(q *query.Query, n *plan.Node, budget *Budget, res *ExecResult, parent *obs.Span) (rowIter, *table.Schema, error) {
 	t0 := time.Now()
 	var (
 		it     rowIter
@@ -151,7 +151,7 @@ func (e *Engine) open(q *query.Query, n *plan.Node, budget *Budget, res *ExecRes
 // otherwise. The explicit parent matters under streaming: a sibling
 // subtree's spans stay open on the ambient stack while this one opens, so
 // ambient parenting would splice unrelated operators together.
-func (e *Engine) opSpan(parent *obs.Span, kind, name string) *obs.Span {
+func (e *Exec) opSpan(parent *obs.Span, kind, name string) *obs.Span {
 	if parent != nil {
 		return e.Obs.StartChild(parent, kind, name)
 	}
@@ -161,7 +161,7 @@ func (e *Engine) opSpan(parent *obs.Span, kind, name string) *obs.Span {
 // openLeaf resolves a leaf into an iterator: a previously materialized
 // expression if one exists under the leaf's key, otherwise a scan of the
 // stored base table with every single-alias selection pushed down.
-func (e *Engine) openLeaf(q *query.Query, n *plan.Node, budget *Budget, parent *obs.Span) (rowIter, *table.Schema, error) {
+func (e *Exec) openLeaf(q *query.Query, n *plan.Node, budget *Budget, parent *obs.Span) (rowIter, *table.Schema, error) {
 	key := n.Key()
 	if m, ok := e.mats[key]; ok {
 		// Reusing a materialized expression still costs one pass over it
@@ -177,7 +177,7 @@ func (e *Engine) openLeaf(q *query.Query, n *plan.Node, budget *Budget, parent *
 	if !ok {
 		return nil, nil, fmt.Errorf("engine: alias %q not in query", alias)
 	}
-	base := e.Cat.MustGet(tbl).Renamed(alias)
+	base := e.eng.Cat.MustGet(tbl).Renamed(alias)
 	sels := q.SelsAt(n.Leaf)
 	sp := e.opSpan(parent, obs.KScan, alias).SetStr("expr", key).SetNum("selections", float64(len(sels)))
 	it := &scanIter{e: e, sp: sp, key: key, base: base, sels: sels, budget: budget, slab: e.scanSlab()}
@@ -237,7 +237,7 @@ func (r *reuseIter) Close(error) {
 // counts; the span's "workers" attribute records the first fan-out (the
 // same count the materialized engine reported for the whole scan).
 type scanIter struct {
-	e      *Engine
+	e      *Exec
 	sp     *obs.Span
 	key    string
 	base   *table.Relation
@@ -328,7 +328,7 @@ func (s *scanIter) Close(error) {
 // inner side). Spans open in the materialized engine's order — KJoin, left
 // subtree, right subtree, then KHashBuild/KNestedLoop — so span ids are
 // identical between streaming and materialized runs.
-func (e *Engine) openJoin(q *query.Query, n *plan.Node, budget *Budget, res *ExecResult, parent *obs.Span) (rowIter, *table.Schema, error) {
+func (e *Exec) openJoin(q *query.Query, n *plan.Node, budget *Budget, res *ExecResult, parent *obs.Span) (rowIter, *table.Schema, error) {
 	jsp := e.opSpan(parent, obs.KJoin, n.Key()).SetStr("expr", n.Key())
 	fail := func(err error, closers ...rowIter) (rowIter, *table.Schema, error) {
 		for _, c := range closers {
@@ -466,7 +466,7 @@ func (e *Engine) openJoin(q *query.Query, n *plan.Node, budget *Budget, res *Exe
 // every batch size because each output batch is the probe of exactly one
 // input batch, in input order. NULL keys never match.
 type hashJoinIter struct {
-	e           *Engine
+	e           *Exec
 	jsp, psp    *obs.Span
 	left        rowIter
 	buildRel    *table.Relation
@@ -577,7 +577,7 @@ func (h *hashJoinIter) Close(err error) {
 // materialized operator — pairs scanned, capped by the outer rows available
 // in the batch.
 type nestedLoopIter struct {
-	e           *Engine
+	e           *Exec
 	jsp, sp     *obs.Span
 	left        rowIter
 	inner       *table.Relation
@@ -692,7 +692,7 @@ const peakSampleTick = 2 * time.Millisecond
 // (catches peaks inside pipeline-breaking operator calls). The sampler only
 // reads runtime counters, so it cannot perturb results, spans, or budgets.
 type peakSampler struct {
-	e       *Engine
+	e       *Exec
 	res     *ExecResult
 	enabled bool
 	ticks   int
@@ -702,7 +702,7 @@ type peakSampler struct {
 	done    chan struct{}
 }
 
-func (e *Engine) peakSampler(res *ExecResult) *peakSampler {
+func (e *Exec) peakSampler(res *ExecResult) *peakSampler {
 	ps := &peakSampler{e: e, res: res, enabled: e.Metrics != nil}
 	if ps.enabled {
 		ps.read()

@@ -113,6 +113,15 @@ func NewRoot(cfg RootConfig, seed int64) *RootPlanner {
 // across shards (rollouts and nodes sum, depth is the max).
 func (p *RootPlanner) LastStats() PlanStats { return p.last }
 
+// SkipCalls advances the Plan-call counter by n without searching. The
+// counter seeds every call's per-shard RNG streams, so a caller that answers
+// n would-be Plan calls from a memoized source (the plan cache's replay path)
+// must advance it exactly as n real calls would have — otherwise the next
+// genuine Plan draws from streams a replay-free run would never reach, and
+// runs that hit the cache mid-flight stop being bit-identical to runs that
+// planned every round themselves.
+func (p *RootPlanner) SkipCalls(n int) { p.calls += n }
+
 // shardQuotas splits the iteration budget into shard quotas differing by at
 // most one rollout, remainder to the lowest-numbered shards.
 func shardQuotas(iters, shards int) []int {

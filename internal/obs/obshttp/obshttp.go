@@ -8,12 +8,14 @@
 package obshttp
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"strings"
+	"time"
 
 	"monsoon/internal/obs"
 )
@@ -28,6 +30,13 @@ import (
 // well-formed) documents.
 func Handler(reg *obs.Registry, ring *obs.TraceRing) http.Handler {
 	mux := http.NewServeMux()
+	Mount(mux, reg, ring)
+	return mux
+}
+
+// Mount registers the telemetry routes on an existing mux, so a server with
+// its own routes (the monsoond daemon's /query) shares one mux with them.
+func Mount(mux *http.ServeMux, reg *obs.Registry, ring *obs.TraceRing) {
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		writeVars(w, reg)
@@ -49,21 +58,68 @@ func Handler(reg *obs.Registry, ring *obs.TraceRing) http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(recent)
 	})
-	return mux
 }
 
-// Serve listens on addr and serves Handler(reg, ring) until the process
-// exits, returning the bound address (useful with ":0"). The listener is
-// created synchronously so a bad address fails fast; serving happens on a
-// background goroutine — telemetry must never block a query.
-func Serve(addr string, reg *obs.Registry, ring *obs.TraceRing) (string, error) {
+// Server is a running telemetry endpoint: the bound address plus a shutdown
+// handle. Serve and ServeHandler return one so callers can stop the listener
+// — earlier versions leaked the http.Server, leaving no way to stop it and
+// no slowloris protection.
+type Server struct {
+	// Addr is the bound listen address (useful with ":0").
+	Addr string
+	srv  *http.Server
+	done chan struct{}
+}
+
+// Shutdown gracefully stops the server: the listener closes immediately, and
+// in-flight requests get until ctx expires to finish.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	<-s.done
+	return err
+}
+
+// Close stops the server immediately, dropping in-flight requests.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}
+
+// NewServer wraps an arbitrary handler in an http.Server with the timeout
+// hardening a long-lived endpoint needs: ReadHeaderTimeout bounds slowloris
+// header dribbling, IdleTimeout reaps idle keep-alive connections. No
+// WriteTimeout is set — query responses legitimately take as long as their
+// execution budget allows; per-request bounds belong to the handler.
+func NewServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// Serve listens on addr and serves Handler(reg, ring) on a background
+// goroutine — telemetry must never block a query. The listener is created
+// synchronously so a bad address fails fast. Stop the returned server with
+// Shutdown or Close.
+func Serve(addr string, reg *obs.Registry, ring *obs.TraceRing) (*Server, error) {
+	return ServeHandler(addr, Handler(reg, ring))
+}
+
+// ServeHandler is Serve for an arbitrary handler (the daemon mounts its
+// /query routes next to the telemetry set on one mux).
+func ServeHandler(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	srv := &http.Server{Handler: Handler(reg, ring)}
-	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), nil
+	s := &Server{Addr: ln.Addr().String(), srv: NewServer(h), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
 }
 
 // writeVars renders the registry as a single JSON object. Key order follows

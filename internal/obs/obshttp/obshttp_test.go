@@ -1,6 +1,7 @@
 package obshttp
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -184,12 +185,13 @@ func TestNilArgumentsServeWellFormedDocuments(t *testing.T) {
 }
 
 func TestServeBindsAndAnswers(t *testing.T) {
-	addr, err := Serve("127.0.0.1:0", fixtureRegistry(), obs.NewTraceRing(2))
+	srv, err := Serve("127.0.0.1:0", fixtureRegistry(), obs.NewTraceRing(2))
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer srv.Close()
 	cl := &http.Client{Timeout: 5 * time.Second}
-	resp, err := cl.Get("http://" + addr + "/debug/vars")
+	resp, err := cl.Get("http://" + srv.Addr + "/debug/vars")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,5 +205,41 @@ func TestServeBindsAndAnswers(t *testing.T) {
 	}
 	if doc["monsoon.rounds"] != float64(3) {
 		t.Errorf("live /debug/vars monsoon.rounds = %v", doc["monsoon.rounds"])
+	}
+}
+
+// TestServeShutdownStopsListening pins the new lifecycle contract: Shutdown
+// releases the port (a second Serve on the same address succeeds) and new
+// connections are refused afterwards.
+func TestServeShutdownStopsListening(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", fixtureRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	cl := &http.Client{Timeout: 2 * time.Second}
+	if _, err := cl.Get("http://" + srv.Addr + "/debug/vars"); err == nil {
+		t.Fatal("request after Shutdown succeeded; listener still open")
+	}
+	srv2, err := Serve(srv.Addr, fixtureRegistry(), nil)
+	if err != nil {
+		t.Fatalf("rebinding released address: %v", err)
+	}
+	_ = srv2.Close()
+}
+
+// TestServerHasHeaderTimeout pins the slowloris hardening on every served
+// endpoint (CLI telemetry and daemon alike build through NewServer).
+func TestServerHasHeaderTimeout(t *testing.T) {
+	s := NewServer(http.NotFoundHandler())
+	if s.ReadHeaderTimeout <= 0 {
+		t.Fatal("NewServer leaves ReadHeaderTimeout unset")
+	}
+	if s.IdleTimeout <= 0 {
+		t.Fatal("NewServer leaves IdleTimeout unset")
 	}
 }

@@ -131,6 +131,20 @@ func (c *Cache) Stats() Stats {
 	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.ll.Len()}
 }
 
+// PublishGauges feeds the cache's current entry and eviction counts to set
+// while still holding the cache mutex, so concurrent publishers serialize and
+// the last write always reflects the newest cache state. (Snapshotting with
+// Stats and then setting gauges outside the lock lets a stale snapshot land
+// last.) Nil-safe (no-op).
+func (c *Cache) PublishGauges(set func(entries, evictions float64)) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set(float64(c.ll.Len()), float64(c.evictions))
+}
+
 // Reset drops every entry and zeroes the accounting. Nil-safe (no-op).
 func (c *Cache) Reset() {
 	if c == nil {

@@ -12,6 +12,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // RawKey returns the statistics key under which the *unfiltered* stored base
@@ -37,7 +38,14 @@ type CKey struct {
 
 // Store holds the statistics set S. It is a value-semantics-friendly
 // container: Clone produces an independent copy for MCTS rollouts.
+//
+// Every method is safe for concurrent use: a daemon shares one seed store
+// across sessions (each clones it, some merge hardened facts back), so all
+// map access goes through an RWMutex. The lock is uncontended in the
+// single-threaded paths MCTS rollouts take, so cloning-heavy planning keeps
+// its performance profile.
 type Store struct {
+	mu       sync.RWMutex
 	counts   map[string]float64
 	measured map[DKey]float64
 	assumed  map[CKey]float64
@@ -54,6 +62,8 @@ func New() *Store {
 
 // Clone returns a deep copy.
 func (s *Store) Clone() *Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	c := &Store{
 		counts:   make(map[string]float64, len(s.counts)),
 		measured: make(map[DKey]float64, len(s.measured)),
@@ -71,36 +81,78 @@ func (s *Store) Clone() *Store {
 	return c
 }
 
+// MergeFrom copies src's hardened facts — expression counts and measured
+// distinct values — into s, overwriting on key collision. Assumed (prior-
+// sampled) entries are deliberately not merged: they are only valid for the
+// run that sampled them. The daemon's opt-in statistics write-back uses this
+// to fold what one query learned into the shared seed store. src is snapshotted
+// under its read lock before s takes its write lock, so no lock ordering
+// between two stores is ever needed.
+func (s *Store) MergeFrom(src *Store) {
+	src.mu.RLock()
+	counts := make(map[string]float64, len(src.counts))
+	for k, v := range src.counts {
+		counts[k] = v
+	}
+	measured := make(map[DKey]float64, len(src.measured))
+	for k, v := range src.measured {
+		measured[k] = v
+	}
+	src.mu.RUnlock()
+	s.mu.Lock()
+	for k, v := range counts {
+		s.counts[k] = v
+	}
+	for k, v := range measured {
+		s.measured[k] = v
+	}
+	s.mu.Unlock()
+}
+
 // SetCount records c(expr).
-func (s *Store) SetCount(expr string, c float64) { s.counts[expr] = c }
+func (s *Store) SetCount(expr string, c float64) {
+	s.mu.Lock()
+	s.counts[expr] = c
+	s.mu.Unlock()
+}
 
 // Count looks up c(expr).
 func (s *Store) Count(expr string) (float64, bool) {
+	s.mu.RLock()
 	c, ok := s.counts[expr]
+	s.mu.RUnlock()
 	return c, ok
 }
 
 // SetMeasured records a hardened distinct count for (term, expr), valid for
 // any partner.
 func (s *Store) SetMeasured(term int, expr string, d float64) {
+	s.mu.Lock()
 	s.measured[DKey{Term: term, Expr: expr}] = d
+	s.mu.Unlock()
 }
 
 // Measured looks up a hardened distinct count.
 func (s *Store) Measured(term int, expr string) (float64, bool) {
+	s.mu.RLock()
 	d, ok := s.measured[DKey{Term: term, Expr: expr}]
+	s.mu.RUnlock()
 	return d, ok
 }
 
 // SetAssumed records a prior-sampled distinct count for (term, expr) with
 // respect to a partner expression.
 func (s *Store) SetAssumed(term int, expr, partner string, d float64) {
+	s.mu.Lock()
 	s.assumed[CKey{Term: term, Expr: expr, Partner: partner}] = d
+	s.mu.Unlock()
 }
 
 // Distinct resolves d(term, expr | partner): a measured value wins; otherwise
 // an assumed value for this exact partner; otherwise a miss.
 func (s *Store) Distinct(term int, expr, partner string) (float64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if d, ok := s.measured[DKey{Term: term, Expr: expr}]; ok {
 		return d, true
 	}
@@ -113,24 +165,40 @@ func (s *Store) Distinct(term int, expr, partner string) (float64, bool) {
 // HasMeasured reports whether a hardened distinct count exists for the term
 // over the expression; Σ-usefulness checks rely on it.
 func (s *Store) HasMeasured(term int, expr string) bool {
+	s.mu.RLock()
 	_, ok := s.measured[DKey{Term: term, Expr: expr}]
+	s.mu.RUnlock()
 	return ok
 }
 
 // CountEntries reports how many expression cardinalities are known.
-func (s *Store) CountEntries() int { return len(s.counts) }
+func (s *Store) CountEntries() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.counts)
+}
 
 // MeasuredEntries reports how many hardened distinct counts are known.
-func (s *Store) MeasuredEntries() int { return len(s.measured) }
+func (s *Store) MeasuredEntries() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.measured)
+}
 
 // AssumedEntries reports how many prior-sampled distinct counts are held.
-func (s *Store) AssumedEntries() int { return len(s.assumed) }
+func (s *Store) AssumedEntries() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.assumed)
+}
 
 // DropAssumed clears every prior-sampled entry. The Monsoon driver calls it
 // after each real EXECUTE so the next planning round starts from hardened
 // facts only.
 func (s *Store) DropAssumed() {
+	s.mu.Lock()
 	s.assumed = make(map[CKey]float64)
+	s.mu.Unlock()
 }
 
 // BucketSignature renders the store with every value bucketed by log2,
@@ -142,6 +210,8 @@ func (s *Store) DropAssumed() {
 // the line and field delimiters (e.g. a key containing ",c:" splicing into a
 // neighboring line) and wrongly merge distinct chance-node outcomes.
 func (s *Store) BucketSignature() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	lines := make([]string, 0, len(s.counts)+len(s.measured)+len(s.assumed))
 	for k, v := range s.counts {
 		lines = append(lines, fmt.Sprintf("c:%q:%d", k, logBucket(v)))
@@ -166,6 +236,8 @@ func logBucket(x float64) int {
 // String renders the store content deterministically (sorted) for debugging
 // and golden tests.
 func (s *Store) String() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var lines []string
 	for k, v := range s.counts {
 		lines = append(lines, fmt.Sprintf("c(%s)=%.6g", k, v))
