@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"monsoon/internal/core"
+	"monsoon/internal/cost"
 	"monsoon/internal/engine"
 	"monsoon/internal/expr"
 	"monsoon/internal/mcts"
@@ -92,11 +93,27 @@ type (
 	PlanCache = plancache.Cache
 	// PlanCacheStats snapshots a plan cache's hit/miss/eviction accounting.
 	PlanCacheStats = plancache.Stats
+	// CostProfile is a calibrated per-operator-kind cost profile (seconds
+	// per object produced), learned from recorded span corpora; attach one
+	// with WithCostProfile.
+	CostProfile = cost.CostProfile
+	// CostCalibrator folds recorded spans or span trees into per-operator
+	// timing accumulators and emits a CostProfile.
+	CostCalibrator = cost.Calibrator
 )
 
 // NewPlanCache creates a plan cache bounded to capacity entries; capacity
 // <= 0 selects the default (512).
 func NewPlanCache(capacity int) *PlanCache { return plancache.New(capacity) }
+
+// NewCostCalibrator creates an empty cost calibrator; feed it spans with
+// AddSpan/AddSpans/AddTree and extract the learned rates with Profile.
+func NewCostCalibrator() *CostCalibrator { return cost.NewCalibrator() }
+
+// LoadCostProfile reads a calibrated cost profile from the JSON file a
+// calibration run wrote (CostProfile.WriteJSON, or
+// `monsoon-trace calibrate`).
+func LoadCostProfile(path string) (*CostProfile, error) { return cost.LoadProfile(path) }
 
 // NewMetricsRegistry creates an empty metrics registry for WithMetrics.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
@@ -309,6 +326,25 @@ func WithPlanParallelism(n int) RunOption {
 // Share one cache across runs (it is safe for concurrent use), or use a
 // Session, which wires a shared cache automatically.
 func WithPlanCache(c *PlanCache) RunOption { return func(cfg *runConfig) { cfg.core.Cache = c } }
+
+// WithCostProfile prices the optimizer's EXECUTE simulations with a
+// calibrated per-operator-kind cost profile (estimated seconds) instead of
+// the paper's flat object-count cost. Profiles participate in the plan-cache
+// key, so calibrated and uncalibrated runs never share memoized rounds. Nil
+// is the default uncalibrated model, bit-identical to previous releases.
+func WithCostProfile(p *CostProfile) RunOption {
+	return func(c *runConfig) { c.core.Profile = p }
+}
+
+// WithReplanThreshold arms mid-query re-optimization: after each EXECUTE
+// round, if the q-error between a materialized tree's estimated and actual
+// root cardinality reaches t (misses — one side empty — always qualify), the
+// run invalidates the query's memoized plan-cache rounds and forces the next
+// planning round to re-run MCTS with the statistics execution just hardened.
+// Zero (the default) disables the trigger.
+func WithReplanThreshold(t float64) RunOption {
+	return func(c *runConfig) { c.core.ReplanThreshold = t }
+}
 
 // WithEpsilonGreedy switches MCTS from UCT to the adaptive ε-greedy
 // selection strategy (§5.1).

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	monsoon-bench [-scale tiny|small|medium] [-exp all|table1|table2|...|figure3|plancache|memory] [-seed N] [-parallelism N] [-batch-size N] [-plan-parallelism N] [-plan-cache] [-v] [-metrics] [-obs-addr ADDR] [-obs-linger DUR] [-trace-json FILE] [-cpuprofile FILE] [-memprofile FILE]
+//	monsoon-bench [-scale tiny|small|medium] [-exp all|table1|...|figure3|plancache|memory|calibration] [-seed N] [-parallelism N] [-batch-size N] [-plan-parallelism N] [-plan-cache] [-calibration-file FILE] [-replan-threshold Q] [-v] [-metrics] [-obs-addr ADDR] [-obs-linger DUR] [-trace-json FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // Output goes to stdout; progress (with -v) and the -metrics dump to stderr.
 // With -trace-json, every Monsoon run of the campaign streams its structured
@@ -31,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"monsoon/internal/cost"
 	"monsoon/internal/daemon"
 	"monsoon/internal/harness"
 	"monsoon/internal/obs"
@@ -39,7 +40,7 @@ import (
 
 func main() {
 	scaleName := flag.String("scale", "small", "campaign scale: tiny, small, or medium")
-	exp := flag.String("exp", "all", "experiment: all, table1..table8, figure1..figure3, ablation, estimates, plancache, memory, tracecorpus")
+	exp := flag.String("exp", "all", "experiment: all, table1..table8, figure1..figure3, ablation, estimates, plancache, memory, tracecorpus, calibration")
 	seed := flag.Int64("seed", 1, "master seed")
 	par := flag.Int("parallelism", 0, "engine worker count: 0 = all cores, 1 = serial (results are identical either way)")
 	batchSize := flag.Int("batch-size", 0, "engine pipeline batch size: 0 = default (4096), negative = unbounded/materialized (results are identical at any size)")
@@ -50,6 +51,8 @@ func main() {
 	obsLinger := flag.Duration("obs-linger", 0, "keep the -obs-addr server up this long after the campaign finishes (for scraping in CI)")
 	traceJSON := flag.String("trace-json", "", "write the structured traces of the campaign's Monsoon runs as JSON lines to FILE")
 	planCache := flag.Bool("plan-cache", false, "share one plan cache across the campaign's Monsoon runs (hit rates in -metrics)")
+	calibFile := flag.String("calibration-file", "", "price the campaign's Monsoon runs with this calibrated cost profile (JSON from monsoon-trace calibrate)")
+	replanThr := flag.Float64("replan-threshold", 0, "q-error at which the campaign's Monsoon runs force a mid-query replan (0 disables)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the campaign to FILE")
 	memProfile := flag.String("memprofile", "", "write a heap profile to FILE on exit")
 	loadURL := flag.String("load-url", "", "load-generator mode: hammer a live monsoond at this base URL (e.g. http://127.0.0.1:8080) instead of running experiments")
@@ -135,7 +138,15 @@ func main() {
 	if *verbose {
 		progress = os.Stderr
 	}
-	r := &harness.Runner{Scale: sc, Progress: progress}
+	r := &harness.Runner{Scale: sc, Progress: progress, ReplanThreshold: *replanThr}
+	if *calibFile != "" {
+		p, err := cost.LoadProfile(*calibFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "calibration file: %v\n", err)
+			os.Exit(2)
+		}
+		r.Profile = p
+	}
 	if *metrics || *obsAddr != "" {
 		r.Metrics = obs.NewRegistry()
 	}
@@ -204,6 +215,7 @@ func main() {
 		{name: "plancache", run: func() error { return r.PlanCacheStudy(w) }},
 		{name: "memory", run: func() error { return r.MemoryStudy(w) }, onlyExplicit: true},
 		{name: "tracecorpus", run: func() error { return r.TraceCorpus(w) }, onlyExplicit: true},
+		{name: "calibration", run: func() error { return r.CalibrationStudy(w) }, onlyExplicit: true},
 	}
 	ran := false
 	for _, s := range steps {

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	monsoon-cli -bench tpch|imdb|ott|udf [-query NAME] [-opt monsoon|postgres|defaults|greedy|ondemand|sampling|skinner] [-prior NAME] [-scale tiny|small|medium] [-seed N] [-parallelism N] [-batch-size N] [-plan-parallelism N] [-plan-cache] [-repeat N] [-trace-json FILE] [-metrics]
+//	monsoon-cli -bench tpch|imdb|ott|udf [-query NAME] [-opt monsoon|postgres|defaults|greedy|ondemand|sampling|skinner] [-prior NAME] [-scale tiny|small|medium] [-seed N] [-parallelism N] [-batch-size N] [-plan-parallelism N] [-plan-cache] [-repeat N] [-calibration-file FILE] [-replan-threshold Q] [-trace-json FILE] [-metrics]
 //
 // Without -query, the available query names for the benchmark are listed.
 package main
@@ -50,6 +50,8 @@ func main() {
 	planCache := flag.Bool("plan-cache", false, "plan through a session-shared plan cache (monsoon only)")
 	repeat := flag.Int("repeat", 1, "run the query N times on fresh engines; with -plan-cache, later runs replay cached plans")
 	obsAddr := flag.String("obs-addr", "", "serve live telemetry (/debug/vars, /metrics, /traces/recent) on this address while the process runs")
+	calibFile := flag.String("calibration-file", "", "price MCTS simulations with this calibrated cost profile (JSON from monsoon-trace calibrate; monsoon only)")
+	replanThr := flag.Float64("replan-threshold", 0, "q-error at which an EXECUTE round forces a mid-query replan with hardened statistics (0 disables; monsoon only)")
 	flag.Parse()
 
 	var sc harness.Scale
@@ -117,8 +119,16 @@ func main() {
 		sink = obs.Multi(jsonSink, ring)
 	}
 
+	var profile *cost.CostProfile
+	if *calibFile != "" {
+		var err error
+		if profile, err = cost.LoadProfile(*calibFile); err != nil {
+			fail("calibration file: %v", err)
+		}
+	}
+
 	if *optName == "monsoon" {
-		runMonsoonTraced(*spec, sc, *priorName, sink, reg, *planCache, *repeat)
+		runMonsoonTraced(*spec, sc, *priorName, sink, reg, *planCache, *repeat, profile, *replanThr)
 		return
 	}
 	if *explain {
@@ -190,7 +200,7 @@ func pickOption(name string, sc harness.Scale, sink obs.EventSink) harness.Optio
 	}
 }
 
-func runMonsoonTraced(spec harness.QuerySpec, sc harness.Scale, priorName string, sink obs.EventSink, reg *obs.Registry, planCache bool, repeat int) {
+func runMonsoonTraced(spec harness.QuerySpec, sc harness.Scale, priorName string, sink obs.EventSink, reg *obs.Registry, planCache bool, repeat int, profile *cost.CostProfile, replanThr float64) {
 	p := prior.ByName(priorName)
 	if p == nil {
 		fail("unknown prior %q (Table 2 names, e.g. \"Spike and Slab\")", priorName)
@@ -223,6 +233,8 @@ func runMonsoonTraced(spec harness.QuerySpec, sc harness.Scale, priorName string
 			BatchSize:       sc.BatchSize,
 			PlanParallelism: sc.PlanParallelism,
 			Cache:           cache,
+			Profile:         profile,
+			ReplanThreshold: replanThr,
 		}
 		if i == 0 {
 			col = &obs.Collector{}
@@ -249,6 +261,10 @@ func runMonsoonTraced(spec harness.QuerySpec, sc harness.Scale, priorName string
 	fmt.Printf("rounds: %d EXECUTEs, %d actions, %d Σ operators\n", res.Executes, res.Actions, res.SigmaOps)
 	fmt.Printf("breakdown: MCTS %v, Σ %v, execution %v; %.0f objects produced\n",
 		res.PlanTime, res.SigmaTime, res.ExecTime, res.Produced)
+	if replanThr > 0 {
+		fmt.Printf("replans: %d triggered (threshold %g), %d cache invalidations\n",
+			res.Replans, replanThr, res.ReplanInvalidations)
+	}
 	if cache != nil {
 		s := cache.Stats()
 		fmt.Printf("plan cache: %d hits, %d misses, %d entries\n", s.Hits, s.Misses, s.Entries)

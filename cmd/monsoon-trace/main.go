@@ -13,6 +13,13 @@
 //	    ({"kind","count"} lines); counts are then the only comparison.
 //	    Worker spans are machine-dependent (GOMAXPROCS) and excluded from
 //	    count comparison unless -workers is set. Exit status 1 on drift.
+//
+//	monsoon-trace calibrate [-o profile.json] trace.jsonl...
+//	    Learn a per-operator-kind cost profile (seconds per object produced)
+//	    from the operator spans of one or more trace corpora, print the
+//	    per-kind rate table to stderr, and write the profile JSON to stdout
+//	    (or -o). Feed the profile back with -calibration-file on
+//	    monsoon-cli, monsoon-bench, or monsoond.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"os"
 	"text/tabwriter"
 
+	"monsoon/internal/cost"
 	"monsoon/internal/obs/tracefile"
 )
 
@@ -34,6 +42,8 @@ func main() {
 		report(os.Args[2:])
 	case "diff":
 		diff(os.Args[2:])
+	case "calibrate":
+		calibrate(os.Args[2:])
 	default:
 		fmt.Fprintf(os.Stderr, "monsoon-trace: unknown command %q\n\n", os.Args[1])
 		usage()
@@ -45,6 +55,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "usage:")
 	fmt.Fprintln(os.Stderr, "  monsoon-trace report <trace.jsonl>")
 	fmt.Fprintln(os.Stderr, "  monsoon-trace diff [-timing-tol frac] [-workers] <a.jsonl> <b.jsonl>")
+	fmt.Fprintln(os.Stderr, "  monsoon-trace calibrate [-o profile.json] <trace.jsonl>...")
 }
 
 func report(args []string) {
@@ -107,6 +118,48 @@ func diff(args []string) {
 	}
 	fmt.Fprintf(os.Stderr, "%d difference(s) between %s and %s\n", len(diffs), fs.Arg(0), fs.Arg(1))
 	os.Exit(1)
+}
+
+// calibrate folds the operator spans of one or more trace corpora into a
+// cost.Calibrator and emits the learned per-operator-kind profile as JSON.
+// The human-readable rate table goes to stderr so the JSON on stdout stays
+// pipeable.
+func calibrate(args []string) {
+	fs := flag.NewFlagSet("calibrate", flag.ExitOnError)
+	out := fs.String("o", "", "write the profile JSON to this file instead of stdout")
+	fs.Parse(args)
+	if fs.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	cal := cost.NewCalibrator()
+	for _, path := range fs.Args() {
+		tr, err := tracefile.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		if tr.CountsOnly {
+			fatal(fmt.Errorf("%s is a span-count baseline; calibrate needs full traces", path))
+		}
+		cal.AddSpans(tr.Spans)
+	}
+	p, err := cal.Profile()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprint(os.Stderr, p.Table())
+	js, err := p.WriteJSON()
+	if err != nil {
+		fatal(err)
+	}
+	js = append(js, '\n')
+	if *out == "" {
+		os.Stdout.Write(js)
+		return
+	}
+	if err := os.WriteFile(*out, js, 0o644); err != nil {
+		fatal(err)
+	}
 }
 
 // describe summarizes one diff input: span total for full traces, counted

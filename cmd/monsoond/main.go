@@ -25,7 +25,8 @@
 //	monsoond [-addr :8080] [-bench tpch|imdb|ott|udf] [-scale tiny|small|medium]
 //	         [-seed N] [-parallelism N] [-batch-size N] [-plan-parallelism N]
 //	         [-iterations N] [-max-concurrent N] [-timeout D] [-max-tuples N]
-//	         [-cache-cap N] [-harden-stats] [-drain-timeout D]
+//	         [-cache-cap N] [-harden-stats] [-calibration-file FILE]
+//	         [-replan-threshold Q] [-drain-timeout D]
 package main
 
 import (
@@ -37,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"monsoon/internal/cost"
 	"monsoon/internal/daemon"
 	"monsoon/internal/harness"
 )
@@ -55,7 +57,11 @@ func main() {
 	maxTuples := flag.Float64("max-tuples", 0, "per-query produced-objects ceiling: 0 = unbounded")
 	cacheCap := flag.Int("cache-cap", 0, "shared plan cache capacity: 0 = default (512)")
 	hardenStats := flag.Bool("harden-stats", false,
-		"merge each query's hardened statistics back into the shared seed store (trades cross-request determinism for better estimates)")
+		"merge each query's hardened statistics back into the shared seed store and self-calibrate the cost model from served traces (trades cross-request determinism for better estimates)")
+	calibFile := flag.String("calibration-file", "",
+		"price MCTS simulations with this calibrated cost profile (JSON from monsoon-trace calibrate); with -harden-stats the online calibrator takes over as traces accrue")
+	replanThr := flag.Float64("replan-threshold", 0,
+		"q-error at which an EXECUTE round forces a mid-query replan with hardened statistics (0 disables)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain window for in-flight queries")
 	flag.Parse()
 
@@ -71,6 +77,14 @@ func main() {
 		fail("unknown scale %q", *scaleName)
 	}
 
+	var profile *cost.CostProfile
+	if *calibFile != "" {
+		var err error
+		if profile, err = cost.LoadProfile(*calibFile); err != nil {
+			fail("calibration file: %v", err)
+		}
+	}
+
 	srv, err := daemon.New(daemon.Config{
 		Bench:            *benchName,
 		Scale:            sc,
@@ -84,6 +98,8 @@ func main() {
 		DefaultMaxTuples: *maxTuples,
 		CacheCapacity:    *cacheCap,
 		HardenStats:      *hardenStats,
+		Profile:          profile,
+		ReplanThreshold:  *replanThr,
 	})
 	if err != nil {
 		fail("%v", err)

@@ -122,8 +122,14 @@ func TestConcurrentSessionsBitIdentical(t *testing.T) {
 			t.Fatalf("concurrent session %d (seed %d): %v", i, sl.seed, sl.err)
 		}
 		checkSameOutcome(t, fmt.Sprintf("session %d (seed %d)", i, sl.seed), sl.cap, solo[sl.seed])
-		if hm := sl.cap.res.CacheHits + sl.cap.res.CacheMisses; hm != sl.cap.res.Actions {
-			t.Errorf("session %d: cache hits+misses = %d, want one consultation per action = %d",
+		// Every action is either planned (one miss per planning call) or
+		// replayed (one hit replays the whole remaining round, possibly
+		// several actions), so consultations never exceed actions — and a
+		// session that took actions consulted the cache at least once. The
+		// exact split depends on which racing session memoized a round
+		// first, so it is deliberately not pinned here.
+		if hm := sl.cap.res.CacheHits + sl.cap.res.CacheMisses; hm == 0 || hm > sl.cap.res.Actions {
+			t.Errorf("session %d: cache hits+misses = %d, want in [1, actions=%d]",
 				i, hm, sl.cap.res.Actions)
 		}
 	}

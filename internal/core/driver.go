@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"monsoon/internal/cost"
 	"monsoon/internal/engine"
 	"monsoon/internal/mcts"
 	"monsoon/internal/obs"
@@ -77,6 +78,22 @@ type Config struct {
 	// through a warm cache reproduces the cold run's plan choices exactly.
 	// Nil disables caching with zero overhead.
 	Cache *plancache.Cache
+	// Profile, when non-nil, is a calibrated per-operator-kind cost profile
+	// (seconds per object, learned from recorded span corpora — see
+	// cost.Calibrator): the MDP simulator prices EXECUTE transitions in
+	// estimated seconds instead of flat object counts. Profiles participate
+	// in the plan-cache key, so calibrated and uncalibrated sessions never
+	// share memoized rounds. Nil (the default) keeps the deterministic
+	// uncalibrated model — bit-identical to every pinned golden.
+	Profile *cost.CostProfile
+	// ReplanThreshold, when > 0, arms mid-query re-optimization: after an
+	// EXECUTE, if the q-error between a materialized tree's estimated and
+	// actual root cardinality reaches the threshold (misses — one side
+	// empty — always trigger), the session invalidates this query's
+	// plan-cache suffixes and forces the next PlanRound to re-run MCTS with
+	// the hardened statistics instead of replaying a memoized round
+	// recorded under the misestimate. Zero disables the trigger entirely.
+	ReplanThreshold float64
 }
 
 // Result reports a completed (or timed-out) Monsoon run, including the
@@ -104,6 +121,10 @@ type Result struct {
 	// CacheHits and CacheMisses count plan-cache consultations for this
 	// run; both zero when no cache is configured.
 	CacheHits, CacheMisses int
+	// Replans counts the EXECUTE rounds whose observed q-error armed a
+	// forced replan (Config.ReplanThreshold); ReplanInvalidations is the
+	// total number of plan-cache entries those triggers evicted.
+	Replans, ReplanInvalidations int
 	// PeakBytes is the largest peak heap allocation any EXECUTE round's
 	// tree drain observed. Zero unless Config.Metrics is set (the engine
 	// samples runtime.MemStats only when a registry is attached).

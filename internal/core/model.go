@@ -26,6 +26,11 @@ type Model struct {
 	// exists for the ablation experiment: uniform rollouts hide the value of
 	// information from shallow searches.
 	UniformRollout bool
+	// Profile, when non-nil, makes EXECUTE's reward the negated calibrated
+	// plan cost (seconds) instead of the flat §4.4 object count; the rollout
+	// policy's greedy join ordering still compares cardinalities, which the
+	// calibration leaves untouched.
+	Profile *cost.CostProfile
 }
 
 var (
@@ -40,7 +45,8 @@ var (
 // seed, so shards step their simulators concurrently without touching each
 // other's sample streams.
 func (m *Model) Fork(seed int64) mcts.Model {
-	return &Model{Q: m.Q, Prior: m.Prior, Rng: randx.New(seed), UniformRollout: m.UniformRollout}
+	return &Model{Q: m.Q, Prior: m.Prior, Rng: randx.New(seed),
+		UniformRollout: m.UniformRollout, Profile: m.Profile}
 }
 
 // Legal implements mcts.Model.
@@ -67,7 +73,7 @@ func (m *Model) Step(s mcts.State, a mcts.Action) (mcts.State, float64, bool) {
 		return ns, 0, false
 	}
 	ns := st.clone(true)
-	dv := &cost.Deriver{Q: m.Q, St: ns.St, Miss: m.priorMiss()}
+	dv := &cost.Deriver{Q: m.Q, St: ns.St, Miss: m.priorMiss(), Profile: m.Profile}
 	total := 0.0
 	for _, t := range ns.Planned {
 		total += dv.PlanCost(t.Tree)

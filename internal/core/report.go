@@ -8,12 +8,6 @@ import (
 	"monsoon/internal/plan"
 )
 
-// qerrMissThreshold separates numeric q-errors from misses: at or beyond it
-// (which includes +Inf, one side empty) an estimate is unboundedly wrong and
-// is counted, not averaged. Matches the harness's clamp and
-// tracefile.QErrMissThreshold.
-const qerrMissThreshold = 1e12
-
 // estimateTree records the deriver's predicted cardinality for every node of
 // one planned tree, keyed by plan.Node.Key.
 func estimateTree(dv *cost.Deriver, n *plan.Node, out map[string]float64) {
@@ -36,14 +30,15 @@ func reportEstimates(tr *obs.Tracer, reg *obs.Registry, n *plan.Node, ests, actu
 			tr.Estimate(obs.Estimate{
 				Expr: key, Join: !n.IsLeaf(), Round: round,
 				Est: est, Actual: actual, QError: qe,
-				Dur: times[key],
+				Miss: obs.QErrorIsMiss(qe),
+				Dur:  times[key],
 			})
 			if !n.IsLeaf() {
-				// An empty-vs-nonempty miss is +Inf (and a clamped-scale one
+				// An empty-vs-nonempty miss is +Inf (and a threshold-scale one
 				// is as good as infinite); count those separately instead of
 				// letting them poison the histogram's sum, mean, and
 				// quantiles — mirroring the harness's miss column.
-				if qe >= qerrMissThreshold {
+				if obs.QErrorIsMiss(qe) {
 					reg.Counter("monsoon.qerror.misses").Inc()
 				} else {
 					reg.Histogram("monsoon.qerror.join").Observe(qe)

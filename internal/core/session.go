@@ -70,6 +70,11 @@ type Session struct {
 	// execPending is set between a PlanRound that picked EXECUTE and the
 	// ExecuteRound that performs it.
 	execPending bool
+	// replanPending is set by ExecuteRound when an observed q-error crossed
+	// cfg.ReplanThreshold: the next PlanRound must re-run MCTS with the
+	// hardened statistics instead of replaying a memoized round recorded
+	// under the misestimate. Cleared once that round completes.
+	replanPending bool
 	// pendingKeys/pendingActs record the current round's (state key, picked
 	// action) pairs on the miss path, memoized when EXECUTE is reached.
 	pendingKeys []string
@@ -112,6 +117,13 @@ func NewSession(q *query.Query, eng *engine.Engine, budget *engine.Budget, cfg C
 		Q: q, Prior: cfg.Prior,
 		Rng:            randx.New(randx.Derive(cfg.Seed, "sim")),
 		UniformRollout: cfg.UniformRollout,
+		Profile:        cfg.Profile,
+	}
+	if cfg.ReplanThreshold > 0 && cfg.Metrics != nil {
+		// Materialize the replan counters at zero so an armed session always
+		// exposes them on /metrics, replanned or not.
+		cfg.Metrics.Counter("monsoon.replan.triggered")
+		cfg.Metrics.Counter("monsoon.replan.cache_invalidations")
 	}
 	// Planning is root-parallel: the rollout budget is pre-split into shards
 	// whose count, quotas, and RNG seeds depend only on (seed, iterations),
@@ -198,14 +210,22 @@ func (s *Session) PlanRound() (bool, error) {
 		var key string
 		if s.cfg.Cache != nil {
 			key = s.cacheKey()
-			if v, ok := s.cfg.Cache.Get(key); ok {
-				if seq, isSeq := v.([]Action); isSeq && s.replayRound(seq) {
-					return true, nil
+			// A forced replan skips the lookup entirely: every memoized round
+			// for this query was recorded under the misestimate the last
+			// ExecuteRound observed, so the only acceptable plan is a fresh
+			// MCTS search against the hardened statistics. The search's new
+			// rounds are still memoized below, repopulating the cache with
+			// plans the corrected statistics stand behind.
+			if !s.replanPending {
+				if v, ok := s.cfg.Cache.Get(key); ok {
+					if seq, isSeq := v.([]Action); isSeq && s.replayRound(seq) {
+						return true, nil
+					}
+					// Invalid or inapplicable entry: treat as a miss and replan.
 				}
-				// Invalid or inapplicable entry: treat as a miss and replan.
+				s.res.CacheMisses++
+				s.cfg.Metrics.Counter("monsoon.plancache.misses").Inc()
 			}
-			s.res.CacheMisses++
-			s.cfg.Metrics.Counter("monsoon.plancache.misses").Inc()
 		}
 		t0 := time.Now()
 		psp := s.tr.Start(obs.KPlan, "mcts")
@@ -234,6 +254,9 @@ func (s *Session) PlanRound() (bool, error) {
 		if s.cfg.Cache != nil {
 			psp.SetStr(obs.AttrCacheHit, "false")
 		}
+		if s.replanPending {
+			psp.SetStr("replan", "true")
+		}
 		psp.End()
 		s.res.PlanTime += planElapsed
 		s.cfg.Metrics.Histogram("monsoon.plan.time").ObserveDuration(planElapsed)
@@ -259,6 +282,9 @@ func (s *Session) PlanRound() (bool, error) {
 		if act.Kind == ActExecute {
 			s.memoizeRound()
 			s.execPending = true
+			// The forced round has been replanned (and re-memoized) in full;
+			// later rounds may trust the cache again.
+			s.replanPending = false
 			return true, nil
 		}
 		asp := s.tr.Start(obs.KAction, act.Key())
@@ -355,7 +381,7 @@ func (s *Session) ExecuteRound() error {
 	// predictions perturbs neither the statistics set nor the RNG
 	// stream — traced and untraced runs stay bit-identical.
 	var ests map[string]float64
-	if s.tr.Active() || s.cfg.Metrics != nil {
+	if s.tr.Active() || s.cfg.Metrics != nil || s.cfg.ReplanThreshold > 0 {
 		dv := &cost.Deriver{Q: s.q, St: ns.St.Clone(), Miss: s.model.meanMiss()}
 		ests = make(map[string]float64)
 		for _, t := range ns.Planned {
@@ -397,6 +423,9 @@ func (s *Session) ExecuteRound() error {
 		}
 		s.res.Executed = append(s.res.Executed, t.Tree)
 		reportEstimates(s.tr, s.cfg.Metrics, t.Tree, ests, er.Counts, er.Times, round)
+		if s.cfg.ReplanThreshold > 0 {
+			s.maybeReplan(asp, t.Tree.Key(), ests, er.Counts)
+		}
 		if s.tr.Active() {
 			s.tr.Message(fmt.Sprintf("  materialized %s (%.0f objects produced)", t.Tree, er.Produced))
 		}
@@ -408,6 +437,35 @@ func (s *Session) ExecuteRound() error {
 	s.cfg.Metrics.Counter("monsoon.executes").Inc()
 	asp.SetNum("trees", float64(len(ns.Planned))).SetProduced(roundProduced).End()
 	return nil
+}
+
+// maybeReplan closes the q-error loop: compare the materialized tree's root
+// cardinality against what the optimizer predicted and, when the q-error
+// reaches cfg.ReplanThreshold (misses — one side empty — always qualify), arm
+// a forced replan. The next PlanRound then skips the plan cache and re-runs
+// MCTS against the statistics this round just hardened; every memoized round
+// for this query's shape is evicted, since each was recorded under the
+// misestimate that just surfaced.
+func (s *Session) maybeReplan(asp *obs.Span, key string, ests map[string]float64, actuals map[string]float64) {
+	est, okE := ests[key]
+	actual, okA := actuals[key]
+	if !okE || !okA {
+		return
+	}
+	qe := obs.QError(est, actual)
+	if !obs.QErrorIsMiss(qe) && qe < s.cfg.ReplanThreshold {
+		return
+	}
+	s.replanPending = true
+	s.res.Replans++
+	s.cfg.Metrics.Counter("monsoon.replan.triggered").Inc()
+	asp.SetStr("replan", "true")
+	if s.cfg.Cache != nil {
+		prefix := s.shape + "\x00"
+		n := s.cfg.Cache.Invalidate(func(k string) bool { return strings.HasPrefix(k, prefix) })
+		s.res.ReplanInvalidations += n
+		s.cfg.Metrics.Counter("monsoon.replan.cache_invalidations").Add(int64(n))
+	}
 }
 
 // Finalize computes the query's final aggregate from the materialized full
@@ -453,5 +511,12 @@ func canonicalShape(q *query.Query, cfg Config) string {
 	fmt.Fprintf(&b, "|out=%d,%s", q.Out.Kind, q.Out.Attr)
 	fmt.Fprintf(&b, "|seed=%d;it=%d;strat=%d;uni=%t;prior=%s",
 		cfg.Seed, cfg.Iterations, cfg.Strategy, cfg.UniformRollout, cfg.Prior.Name())
+	if cfg.Profile != nil {
+		// Calibrated sessions price EXECUTE differently, so they must never
+		// share memoized rounds with uncalibrated ones (or with sessions
+		// calibrated from a different corpus). Nil profiles append nothing,
+		// preserving every pre-calibration cache key byte-for-byte.
+		fmt.Fprintf(&b, ";prof=%s", cfg.Profile.Fingerprint())
+	}
 	return b.String()
 }

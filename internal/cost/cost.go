@@ -54,6 +54,11 @@ type Deriver struct {
 	// Obs, when set, lets optimizers walking this deriver (e.g. opt.BestPlan)
 	// record spans; a nil tracer keeps derivation free of any overhead.
 	Obs *obs.Tracer
+	// Profile, when set, converts the §4.4 object counts into estimated
+	// seconds with calibrated per-operator-kind rates (PlanCost/BatchCost
+	// return seconds instead of objects). Nil keeps the historical flat
+	// object-count model, bit-identical to every pinned golden.
+	Profile *CostProfile
 }
 
 // Distinct resolves d(term, expr | partner): measured over the expression
@@ -146,8 +151,13 @@ func (dv *Deriver) leafCount(n *plan.Node, key string) float64 {
 
 // PlanCost implements the §4.4 recursion for one tree: every node contributes
 // the number of objects it produces, and a Σ top contributes one extra pass
-// over the materialized result.
+// over the materialized result. With a Profile attached the same recursion
+// runs weighted by calibrated per-operator-kind seconds-per-object rates and
+// the result is estimated seconds (see profile.go).
 func (dv *Deriver) PlanCost(n *plan.Node) float64 {
+	if dv.Profile != nil {
+		return dv.profiledPlanCost(n)
+	}
 	c := dv.nodeCost(n)
 	if n.Sigma {
 		c += dv.NodeCount(n)

@@ -118,6 +118,66 @@ func TestBatchCost(t *testing.T) {
 	}
 }
 
+func TestBatchCostEmptyAndSingleton(t *testing.T) {
+	q, st := sec23(t, 10000, 10000)
+	dv := &Deriver{Q: q, St: st, Miss: PanicMiss()}
+	if got := dv.BatchCost(nil); got != 0 {
+		t.Errorf("batch cost of nil slice = %v, want 0", got)
+	}
+	if got := dv.BatchCost([]*plan.Node{}); got != 0 {
+		t.Errorf("batch cost of empty slice = %v, want 0", got)
+	}
+	rs := plan.NewJoin(leaf("R"), leaf("S"))
+	if got, want := dv.BatchCost([]*plan.Node{rs}), dv.PlanCost(rs); got != want {
+		t.Errorf("singleton batch cost = %v, want PlanCost %v", got, want)
+	}
+}
+
+func TestClampBounds(t *testing.T) {
+	cases := []struct{ x, lo, hi, want float64 }{
+		{5, 1, 10, 5},            // interior value passes through
+		{0.5, 1, 10, 1},          // below range
+		{50, 1, 10, 10},          // above range
+		{1, 1, 10, 1},            // exactly at the lower bound
+		{10, 1, 10, 10},          // exactly at the upper bound
+		{math.Inf(1), 1, 10, 10}, // +Inf estimates collapse to the ceiling
+		{math.Inf(-1), 1, 10, 1}, // -Inf to the floor
+		{3, 2, 2, 2},             // degenerate range pins everything
+	}
+	for _, c := range cases {
+		if got := clamp(c.x, c.lo, c.hi); got != c.want {
+			t.Errorf("clamp(%v, %v, %v) = %v, want %v", c.x, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestDefaultMissFraction(t *testing.T) {
+	fn := DefaultMiss(0.1)
+	// The fraction applies to the container's cardinality; the partner's is
+	// deliberately ignored (the paper's Defaults rule is unconditional).
+	if got := fn(nil, "S", "R", 1e4, 123); got != 1e3 {
+		t.Errorf("DefaultMiss(0.1) over 1e4 = %v, want 1e3", got)
+	}
+	if got := fn(nil, "S", "R", 1e4, 1e9); got != 1e3 {
+		t.Errorf("partner cardinality must not affect the rule, got %v", got)
+	}
+	// A zero fraction yields zero; the Deriver's [1, cExpr] clamp is what
+	// keeps the derived distinct positive, not the rule itself.
+	if got := DefaultMiss(0)(nil, "S", "R", 1e4, 1); got != 0 {
+		t.Errorf("DefaultMiss(0) = %v, want raw 0 (caller clamps)", got)
+	}
+}
+
+func TestPanicMissDirect(t *testing.T) {
+	q, _ := sec23(t, 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("PanicMiss must panic when invoked directly")
+		}
+	}()
+	PanicMiss()(q.Joins[0].R, "S", "R", 1e4, 1e6)
+}
+
 func TestDistinctResolutionPreference(t *testing.T) {
 	q, st := sec23(t, 10000, 0)
 	dv := &Deriver{Q: q, St: st, Miss: DefaultMiss(0.1)}

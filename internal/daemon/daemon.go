@@ -38,6 +38,7 @@ import (
 	"monsoon/internal/bench/tpch"
 	"monsoon/internal/bench/udf"
 	"monsoon/internal/core"
+	"monsoon/internal/cost"
 	"monsoon/internal/engine"
 	"monsoon/internal/harness"
 	"monsoon/internal/obs"
@@ -83,7 +84,21 @@ type Config struct {
 	// seed store. Later queries then plan from observed facts instead of
 	// priors — but results may depend on what ran before, so the
 	// cross-request determinism guarantee is traded away. Off by default.
+	// HardenStats also switches on online self-calibration: the daemon
+	// folds each completed query's span tree (from its own trace ring) into
+	// a cost calibrator and prices subsequent sessions with the learned
+	// per-operator profile.
 	HardenStats bool
+	// Profile, when non-nil, prices every session's MCTS simulations with
+	// this calibrated per-operator cost profile from the start (typically
+	// loaded from monsoon-trace calibrate output). With HardenStats the
+	// online calibrator takes over once it has observed operator spans.
+	Profile *cost.CostProfile
+	// ReplanThreshold, when > 0, arms mid-query re-optimization on every
+	// session: an EXECUTE round whose observed root q-error reaches the
+	// threshold invalidates the query's memoized plan-cache rounds and
+	// forces a fresh MCTS round against the hardened statistics.
+	ReplanThreshold float64
 }
 
 // namedQuery is one servable query: its parsed form plus the engine over its
@@ -112,6 +127,15 @@ type Server struct {
 
 	mu  sync.Mutex
 	srv *obshttp.Server
+
+	// calMu guards the online self-calibration state: the running
+	// calibrator, the profile sessions currently plan with, and the newest
+	// trace ID already folded (trace IDs are process-wide monotonic, so the
+	// watermark prevents double-counting ring entries).
+	calMu      sync.Mutex
+	cal        *cost.Calibrator
+	profile    *cost.CostProfile
+	lastFolded int64
 }
 
 // New generates the benchmark data and assembles the shared state. The
@@ -139,6 +163,10 @@ func New(cfg Config) (*Server, error) {
 		ring:    obs.NewTraceRing(0),
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
 		started: time.Now(),
+		profile: cfg.Profile,
+	}
+	if cfg.HardenStats {
+		s.cal = cost.NewCalibrator()
 	}
 	if err := s.load(); err != nil {
 		return nil, err
@@ -272,6 +300,10 @@ type QueryResponse struct {
 	ExecMS      float64 `json:"exec_ms"`
 	CacheHits   int     `json:"cache_hits"`
 	CacheMisses int     `json:"cache_misses"`
+	// Replans counts EXECUTE rounds whose observed q-error forced a
+	// mid-query replan; always 0 unless the daemon runs with a replan
+	// threshold.
+	Replans int `json:"replans"`
 	// ResultHash is an FNV-1a digest over the result rows' rendered values,
 	// in row order. Clients use it to verify cross-client determinism
 	// without shipping result sets around.
@@ -405,6 +437,8 @@ func (s *Server) run(q *query.Query, eng *engine.Engine, req QueryRequest) (*Que
 		BatchSize:       s.cfg.BatchSize,
 		PlanParallelism: s.cfg.PlanParallelism,
 		Cache:           s.cache,
+		Profile:         s.currentProfile(),
+		ReplanThreshold: s.cfg.ReplanThreshold,
 	}
 	start := time.Now()
 	res, err := core.Run(q, eng, budget, cfg)
@@ -420,6 +454,7 @@ func (s *Server) run(q *query.Query, eng *engine.Engine, req QueryRequest) (*Que
 		ExecMS:      float64(res.ExecTime) / float64(time.Millisecond),
 		CacheHits:   res.CacheHits,
 		CacheMisses: res.CacheMisses,
+		Replans:     res.Replans,
 		ElapsedMS:   float64(elapsed) / float64(time.Millisecond),
 		Seed:        seed,
 	}
@@ -437,8 +472,48 @@ func (s *Server) run(q *query.Query, eng *engine.Engine, req QueryRequest) (*Que
 	resp.ResultHash = hashRelation(res.Output)
 	if s.cfg.HardenStats {
 		s.seed.MergeFrom(st)
+		s.selfCalibrate()
 	}
 	return resp, http.StatusOK
+}
+
+// currentProfile snapshots the cost profile sessions should plan with: the
+// configured one until self-calibration (HardenStats) has folded real
+// operator spans, then the learned one.
+func (s *Server) currentProfile() *cost.CostProfile {
+	s.calMu.Lock()
+	defer s.calMu.Unlock()
+	return s.profile
+}
+
+// selfCalibrate folds every trace the ring assembled since the last fold into
+// the running calibrator and swaps the learned profile in for subsequent
+// sessions. Trace IDs are process-wide monotonic, so a high-water mark is
+// enough to never double-count a ring entry (entries evicted before a fold
+// are simply lost — the calibrator is an online estimator, not an audit log).
+func (s *Server) selfCalibrate() {
+	s.calMu.Lock()
+	defer s.calMu.Unlock()
+	folded := false
+	for _, rt := range s.ring.Recent() {
+		if rt.Trace <= s.lastFolded {
+			continue
+		}
+		s.cal.AddTree(rt.Root)
+		if rt.Trace > s.lastFolded {
+			s.lastFolded = rt.Trace
+		}
+		folded = true
+	}
+	if !folded {
+		return
+	}
+	p, err := s.cal.Profile()
+	if err != nil {
+		return // no operator spans observed yet; keep the configured profile
+	}
+	s.profile = p
+	s.reg.Counter("monsoond.calibration.folds").Inc()
 }
 
 // hashRelation digests a result relation: FNV-1a over every value's rendered

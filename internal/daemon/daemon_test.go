@@ -254,6 +254,54 @@ func TestQueriesAndHealthRoutes(t *testing.T) {
 
 // TestHashRelation pins the digest: stable empty-input rendering, field/row
 // separator sensitivity, and process-independence (pure function of values).
+// TestHardenStatsSelfCalibration: with HardenStats on, the daemon folds each
+// served query's span tree into its online calibrator, installs the learned
+// profile for subsequent requests, and surfaces the replans field in the
+// response JSON. Uses its own server — the shared one must stay on the
+// deterministic (calibration-off) path.
+func TestHardenStatsSelfCalibration(t *testing.T) {
+	srv, err := New(Config{Bench: "tpch", Seed: 1, MaxConcurrent: 4,
+		DefaultTimeout: 5 * time.Minute, HardenStats: true, ReplanThreshold: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.currentProfile() != nil {
+		t.Error("no configured profile: the daemon must start uncalibrated")
+	}
+	h := srv.Handler()
+	rec, _ := doJSON(t, h, "GET", "/query?query=tpch-q3", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	// The replans field is part of the response contract even at zero.
+	if !strings.Contains(rec.Body.String(), `"replans"`) {
+		t.Error("response JSON lacks the replans field")
+	}
+	if folds := srv.reg.Counter("monsoond.calibration.folds").Value(); folds < 1 {
+		t.Errorf("calibration folds = %d, want ≥ 1 after a served query", folds)
+	}
+	p := srv.currentProfile()
+	if p == nil {
+		t.Fatal("self-calibration must install a learned profile")
+	}
+	if p.Scan.SecondsPerObject <= 0 {
+		t.Errorf("learned scan rate = %v, want > 0 (the query scanned rows)", p.Scan.SecondsPerObject)
+	}
+	// The next request plans under the learned profile and folds its own
+	// trace in turn — the high-water mark must prevent re-folding the first.
+	rec2, _ := doJSON(t, h, "GET", "/query?query=tpch-q3", "")
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("second request: status %d: %s", rec2.Code, rec2.Body.String())
+	}
+	folds := srv.reg.Counter("monsoond.calibration.folds").Value()
+	if folds != 2 {
+		t.Errorf("folds after two queries = %d, want exactly 2 (one per new trace)", folds)
+	}
+	if srv.currentProfile() == nil {
+		t.Fatal("profile must survive refolding")
+	}
+}
+
 func TestHashRelation(t *testing.T) {
 	if got := hashRelation(nil); got != fmt.Sprintf("fnv1a:%016x", uint64(0xcbf29ce484222325)) {
 		t.Errorf("nil relation hash %s, want the FNV-1a offset basis", got)

@@ -111,6 +111,12 @@ type Runner struct {
 	// Monsoon run of the campaign. Sinks shared this way must lock
 	// internally (obs.NewJSONL does).
 	Sink obs.EventSink
+	// Profile, when non-nil, prices every Monsoon run's MCTS simulations
+	// with this calibrated per-operator cost profile (-calibration-file).
+	Profile *cost.CostProfile
+	// ReplanThreshold, when > 0, arms mid-query re-optimization on every
+	// Monsoon run of the campaign (-replan-threshold).
+	ReplanThreshold float64
 
 	imdbRes *BenchResult
 	ottRes  *BenchResult
@@ -122,7 +128,9 @@ func (r *Runner) monsoon() Monsoon {
 	return Monsoon{Iterations: r.Scale.MCTSIterations, Metrics: r.Metrics, Sink: r.Sink,
 		Parallelism: r.Scale.Parallelism, BatchSize: r.Scale.BatchSize,
 		PlanParallelism: r.Scale.PlanParallelism,
-		Cache:           r.planCache()}
+		Cache:           r.planCache(),
+		Profile:         r.Profile,
+		ReplanThreshold: r.ReplanThreshold}
 }
 
 // planCache lazily creates the campaign-shared cache when the scale enables
@@ -240,10 +248,11 @@ func (r *Runner) Table2(w io.Writer) error {
 			specs[i] = QuerySpec{Q: q, Cat: cat}
 		}
 		for _, p := range prior.All() {
-			opt := Monsoon{Prior: p, Iterations: sc.MCTSIterations,
-				Parallelism: sc.Parallelism, BatchSize: sc.BatchSize,
-				PlanParallelism: sc.PlanParallelism,
-				Metrics:         r.Metrics, Sink: r.Sink}
+			// The runner's campaign knobs (shared cache, cost profile, replan
+			// threshold) apply to every prior variant alike, so the sweep
+			// compares priors, not configurations.
+			opt := r.monsoon()
+			opt.Prior = p
 			br, err := RunBenchmark(specs, []Option{opt}, sc.Timeout, sc.MaxTuples, sc.Seed, nil)
 			if err != nil {
 				return err

@@ -63,6 +63,9 @@ type Outcome struct {
 	// CacheHits and CacheMisses count plan-cache consultations (Monsoon
 	// with a cache attached only; zero otherwise).
 	CacheHits, CacheMisses int
+	// Replans counts mid-query re-optimizations (Monsoon with a replan
+	// threshold configured only; zero otherwise).
+	Replans int
 	// PeakBytes is the largest peak heap allocation any tree drain of the
 	// run observed (Monsoon with a metrics registry attached only; zero
 	// otherwise — the engine samples runtime.MemStats strictly opt-in).
@@ -304,15 +307,13 @@ type qerrSink struct {
 	misses int
 }
 
-const qerrClamp = 1e12
-
 func (qs *qerrSink) Emit(ev obs.Event) {
 	if ev.Type != obs.EvEstimate || !ev.Est.Join {
 		return
 	}
 	qs.n++
 	q := ev.Est.QError
-	if q >= qerrClamp || math.IsInf(q, 0) || math.IsNaN(q) {
+	if ev.Est.Miss || obs.QErrorIsMiss(q) {
 		qs.misses++
 		return
 	}
@@ -355,6 +356,14 @@ type Monsoon struct {
 	// it: repeated (query shape, statistics) states replay the memoized
 	// action sequence instead of re-running MCTS.
 	Cache *plancache.Cache
+	// Profile, when non-nil, makes the MDP simulator cost plans with
+	// calibrated per-operator-kind seconds instead of flat object counts.
+	Profile *cost.CostProfile
+	// ReplanThreshold, when > 0, triggers mid-query re-optimization: an
+	// EXECUTE whose materialized q-error reaches it invalidates the query's
+	// plan-cache suffixes and forces the next round to replan with the
+	// hardened statistics.
+	ReplanThreshold float64
 }
 
 // Name implements Option.
@@ -382,12 +391,15 @@ func (m Monsoon) Run(spec QuerySpec, timeout time.Duration, maxTuples float64, s
 		BatchSize:       m.BatchSize,
 		PlanParallelism: m.PlanParallelism,
 		Cache:           m.Cache,
+		Profile:         m.Profile,
+		ReplanThreshold: m.ReplanThreshold,
 	})
 	out := Outcome{
 		Rows: res.Rows, Value: res.Value,
 		MCTSTime: res.PlanTime, SigmaTime: res.SigmaTime, ExecTime: res.ExecTime,
 		QErrJoins: qs.n, QErrGeo: qs.geo(), QErrMax: qs.max, QErrMisses: qs.misses,
 		CacheHits: res.CacheHits, CacheMisses: res.CacheMisses, PeakBytes: res.PeakBytes,
+		Replans: res.Replans,
 	}
 	return finish(start, b, err, out)
 }

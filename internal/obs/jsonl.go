@@ -43,11 +43,16 @@ func (j *JSONL) Emit(ev Event) {
 	case EvMessage:
 		rec = jsonlRecord{Type: "message", Msg: ev.Msg}
 	case EvEstimate:
-		// encoding/json rejects non-finite floats; clamp so an unboundedly
-		// wrong estimate (+Inf q-error) still produces a trace line.
-		if e := ev.Est; math.IsInf(e.QError, 0) || math.IsNaN(e.QError) {
+		// encoding/json rejects non-finite floats, and a MaxFloat64 clamp
+		// (the old workaround) masquerades as a graded — if absurd — q-error.
+		// Mark the record an explicit miss and zero the unencodable value;
+		// readers key off Miss, not a sentinel magnitude.
+		if e := ev.Est; QErrorIsMiss(e.QError) {
 			c := *e
-			c.QError = math.MaxFloat64
+			c.Miss = true
+			if math.IsInf(c.QError, 0) || math.IsNaN(c.QError) {
+				c.QError = 0
+			}
 			ev.Est = &c
 		}
 		rec = jsonlRecord{Type: "estimate", Estimate: ev.Est}

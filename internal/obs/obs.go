@@ -231,6 +231,20 @@ func (sp *Span) endWith(d time.Duration) {
 	t.emit(Event{Type: EvSpan, Span: sp})
 }
 
+// QErrorMissThreshold is the single cutoff past which a q-error stops being a
+// graded estimate and becomes a miss — an empty-vs-nonempty disagreement or an
+// error so large only its existence is informative. Every consumer shares it:
+// the harness Miss column, the monsoon.qerror.misses counter, `monsoon-trace
+// report`'s rollup, and the mid-query replan trigger, so trace-derived and
+// harness-derived tallies agree record for record.
+const QErrorMissThreshold = 1e12
+
+// QErrorIsMiss reports whether a q-error counts as a miss: non-finite (one
+// side of the estimate was zero) or at least QErrorMissThreshold.
+func QErrorIsMiss(q float64) bool {
+	return math.IsInf(q, 0) || math.IsNaN(q) || q >= QErrorMissThreshold
+}
+
 // Estimate is one estimate-vs-actual cardinality record: at every EXECUTE the
 // driver logs, for each node of each materialized tree, the cardinality the
 // optimizer believed (under the prior's expectation) next to the one the
@@ -248,6 +262,11 @@ type Estimate struct {
 	// QError is max(Est/Actual, Actual/Est); 1 is a perfect estimate. +Inf
 	// when exactly one side is zero.
 	QError float64 `json:"q"`
+	// Miss marks records whose q-error crossed QErrorMissThreshold (or was
+	// non-finite): empty-vs-nonempty disagreements and errors too large to
+	// grade. JSONL sinks zero the non-finite QError and rely on this field —
+	// JSON has no +Inf — so trace files round-trip miss records exactly.
+	Miss bool `json:"miss,omitempty"`
 	// Dur is the inclusive wall time the engine spent computing the node,
 	// when known — which makes the record a complete EXPLAIN ANALYZE row.
 	Dur time.Duration `json:"dur_ns,omitempty"`

@@ -215,12 +215,14 @@ func TestJSONLEmitsValidLines(t *testing.T) {
 	if rec["msg"] != "EXECUTE" {
 		t.Errorf("line 1 msg = %v", rec["msg"])
 	}
-	// The +Inf q-error must still encode (clamped), not drop the line.
+	// The +Inf q-error must still encode — as an explicit miss record with
+	// the unencodable value zeroed, not a clamped magic number — and must
+	// not drop the line.
 	if err := json.Unmarshal([]byte(lines[2]), &rec); err != nil {
 		t.Fatalf("line 2 not JSON: %v", err)
 	}
 	est := rec["estimate"].(map[string]any)
-	if est["expr"] != "R+S" || est["q"].(float64) < 1e300 {
+	if est["expr"] != "R+S" || est["miss"] != true || est["q"].(float64) != 0 {
 		t.Errorf("estimate payload wrong: %v", est)
 	}
 }

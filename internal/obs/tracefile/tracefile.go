@@ -18,10 +18,9 @@ import (
 	"monsoon/internal/obs"
 )
 
-// QErrMissThreshold mirrors the harness clamp: a q-error at or beyond it
-// (including +Inf — one side empty, the other not) counts as a miss rather
-// than a numeric error, so misses can't poison geometric means.
-const QErrMissThreshold = 1e12
+// QErrMissThreshold is the shared miss cutoff, re-exported for compatibility;
+// the canonical definition is obs.QErrorMissThreshold.
+const QErrMissThreshold = obs.QErrorMissThreshold
 
 // Trace is one parsed trace: either a full JSONL event stream (Spans and
 // Estimates populated, Counts derived) or a bare span-count baseline (Counts
@@ -177,7 +176,7 @@ func (t *Trace) QErrors() QErrSummary {
 			s.Leaves++
 		}
 		q := e.QError
-		if math.IsInf(q, 0) || math.IsNaN(q) || q >= QErrMissThreshold {
+		if e.Miss || obs.QErrorIsMiss(q) {
 			s.Misses++
 			continue
 		}

@@ -96,6 +96,70 @@ func TestOperatorTimesKeysByExpr(t *testing.T) {
 	}
 }
 
+// TestOperatorTimesNestedUmbrellas pins the attribution the cost calibrator
+// and trace reports consume on a realistic executed-tree shape: join umbrellas
+// nested inside join umbrellas, phase spans without expr attributes, and
+// worker fan-outs whose busy times overlap the operator's wall clock.
+func TestOperatorTimesNestedUmbrellas(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	expr := func(e string) map[string]string { return map[string]string{"expr": e} }
+	spans := []*Span{
+		{ID: 1, Trace: 1, Kind: KQuery, Dur: ms(100)},
+		{ID: 2, Parent: 1, Trace: 1, Kind: KJoin, Str: expr("R+S+T"), Dur: ms(80)},
+		{ID: 3, Parent: 2, Trace: 1, Kind: KJoin, Str: expr("R+S"), Dur: ms(50)},
+		{ID: 4, Parent: 3, Trace: 1, Kind: KScan, Str: expr("R"), Dur: ms(5)},
+		{ID: 5, Parent: 3, Trace: 1, Kind: KHashBuild, Dur: ms(10)}, // phase: no expr
+		{ID: 6, Parent: 3, Trace: 1, Kind: KHashProbe, Dur: ms(30)}, // phase: no expr
+		{ID: 7, Parent: 6, Trace: 1, Kind: KWorker, Dur: ms(25)},
+		{ID: 8, Parent: 6, Trace: 1, Kind: KWorker, Dur: ms(25)},
+		{ID: 9, Parent: 2, Trace: 1, Kind: KScan, Str: expr("T"), Dur: ms(20)},
+		{ID: 10, Parent: 9, Trace: 1, Kind: KWorker, Dur: ms(15)},
+		{ID: 11, Parent: 9, Trace: 1, Kind: KWorker, Dur: ms(15)},
+	}
+	incl, self := OperatorTimes(BuildSpanTree(spans))
+
+	if len(incl) != 4 || len(self) != 4 {
+		t.Fatalf("keys = %v, want exactly R, T, R+S, R+S+T", incl)
+	}
+	// Inclusive time is the span's whole window; self nets out direct children
+	// (operator phases included, even though phases carry no expr key).
+	if incl["R+S+T"] != ms(80) || self["R+S+T"] != ms(10) {
+		t.Errorf("outer umbrella incl=%v self=%v, want 80ms/10ms", incl["R+S+T"], self["R+S+T"])
+	}
+	if incl["R+S"] != ms(50) || self["R+S"] != ms(5) {
+		t.Errorf("inner umbrella incl=%v self=%v, want 50ms/5ms", incl["R+S"], self["R+S"])
+	}
+	if incl["R"] != ms(5) || self["R"] != ms(5) {
+		t.Errorf("leaf scan incl=%v self=%v, want 5ms/5ms", incl["R"], self["R"])
+	}
+	// Worker busy times overlap in wall time: 2×15ms under a 20ms scan must
+	// clamp self to zero, never go negative.
+	if incl["T"] != ms(20) || self["T"] != 0 {
+		t.Errorf("worker-fanned scan incl=%v self=%v, want 20ms/0", incl["T"], self["T"])
+	}
+}
+
+// A re-executed expression (reuse pass, multi-round tree) must be attributed
+// to its later span — matching how estimate/actual maps are accumulated — and
+// materialize spans, though they carry expr attributes, must not key in.
+func TestOperatorTimesLaterSpanWinsAndMaterializeExcluded(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	expr := func(e string) map[string]string { return map[string]string{"expr": e} }
+	spans := []*Span{
+		{ID: 1, Trace: 1, Kind: KQuery, Dur: ms(100)},
+		{ID: 2, Parent: 1, Trace: 1, Kind: KMaterialize, Str: expr("T"), Dur: ms(90)},
+		{ID: 3, Parent: 2, Trace: 1, Kind: KScan, Str: expr("T"), Dur: ms(10)},
+		{ID: 4, Parent: 2, Trace: 1, Kind: KReuse, Str: expr("T"), Dur: ms(4)},
+	}
+	incl, _ := OperatorTimes(BuildSpanTree(spans))
+	if len(incl) != 1 {
+		t.Fatalf("keys = %v, want just T", incl)
+	}
+	if incl["T"] != ms(4) {
+		t.Errorf("incl[T] = %v, want 4ms (the later reuse span, not the scan or the materialize window)", incl["T"])
+	}
+}
+
 func TestTraceRingRetainsNewestFirst(t *testing.T) {
 	ring := NewTraceRing(2)
 	for i := 0; i < 3; i++ {
