@@ -249,6 +249,7 @@ type runConfig struct {
 	core     core.Config
 	timeout  time.Duration
 	maxTuple float64
+	shards   int
 	known    []knownStat
 }
 
@@ -306,6 +307,18 @@ func WithParallelism(n int) RunOption { return func(c *runConfig) { c.core.Paral
 // only. Smaller batches bound intermediate memory more tightly; unbounded
 // batches make peak memory proportional to the largest intermediate result.
 func WithBatchSize(n int) RunOption { return func(c *runConfig) { c.core.BatchSize = n } }
+
+// WithShards partitions every stored table of the run's catalog into n
+// deterministic hash shards on its first column (n <= 1 restores the single
+// unsharded store). The engine then runs exchange-style operators over the
+// layout — shard-local scans and partial Σ passes for co-partitioned hash
+// builds, an explicit reshuffle otherwise — and the optimizer prices that
+// movement into its plan search. Every shard count returns the bit-identical
+// query answer; the knob trades wall time and lets the sharding experiment
+// compare co-partitioned against reshuffled executions. The catalog itself
+// carries the layout, so the partitioning persists on it across runs until
+// changed.
+func WithShards(n int) RunOption { return func(c *runConfig) { c.shards = n } }
 
 // WithPlanParallelism caps the OS threads the root-parallel MCTS planner runs
 // its search shards on: 1 forces serial planning, N > 1 uses up to N threads,
@@ -393,6 +406,9 @@ func Run(q *Query, cat *Catalog, opts ...RunOption) (*Report, error) {
 			}
 		}
 		cfg.core.Stats = st
+	}
+	if cfg.shards > 0 && cat.ShardCount() != cfg.shards {
+		cat.Shard(cfg.shards)
 	}
 	eng := engine.New(cat)
 	res, err := core.Run(q, eng, budget, cfg.core)

@@ -113,6 +113,38 @@ func TestWithBatchSizeIdentical(t *testing.T) {
 	}
 }
 
+// TestWithShardsDeterministic pins the sharding guarantee at the public API:
+// every shard count returns the same query answer, and within one layout the
+// batch size still changes nothing — including the exact output rows.
+func TestWithShardsDeterministic(t *testing.T) {
+	run := func(shards, batch int) *Report {
+		rep, err := Run(buildQuery(), buildWorld(),
+			WithSeed(5), WithIterations(150), WithShards(shards), WithBatchSize(batch))
+		if err != nil {
+			t.Fatalf("shards %d batch %d: %v", shards, batch, err)
+		}
+		return rep
+	}
+	unsharded := run(1, 0)
+	for _, s := range []int{1, 2, 4, 16} {
+		ref := run(s, 0)
+		if ref.Rows != unsharded.Rows || ref.Value != unsharded.Value {
+			t.Errorf("shards %d: rows/value %d/%g, unsharded %d/%g",
+				s, ref.Rows, ref.Value, unsharded.Rows, unsharded.Value)
+		}
+		for _, batch := range []int{1, 7, -1} {
+			rep := run(s, batch)
+			if rep.Rows != ref.Rows || rep.Value != ref.Value || rep.Produced != ref.Produced {
+				t.Errorf("shards %d batch %d: rows/value/produced %d/%g/%g, want %d/%g/%g",
+					s, batch, rep.Rows, rep.Value, rep.Produced, ref.Rows, ref.Value, ref.Produced)
+			}
+			if !reflect.DeepEqual(rep.Output.Rows, ref.Output.Rows) {
+				t.Errorf("shards %d batch %d: output rows differ within the same layout", s, batch)
+			}
+		}
+	}
+}
+
 func TestRunBudgets(t *testing.T) {
 	cat := buildWorld()
 	if _, err := Run(buildQuery(), cat, WithSeed(2), WithMaxTuples(10)); !errors.Is(err, ErrBudget) {

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	monsoon-bench [-scale tiny|small|medium] [-exp all|table1|...|figure3|plancache|memory|calibration] [-seed N] [-parallelism N] [-batch-size N] [-plan-parallelism N] [-plan-cache] [-calibration-file FILE] [-replan-threshold Q] [-v] [-metrics] [-obs-addr ADDR] [-obs-linger DUR] [-trace-json FILE] [-cpuprofile FILE] [-memprofile FILE]
+//	monsoon-bench [-scale tiny|small|medium] [-exp all|table1|...|figure3|plancache|memory|sharding|calibration] [-seed N] [-parallelism N] [-batch-size N] [-shards N] [-plan-parallelism N] [-plan-cache] [-calibration-file FILE] [-replan-threshold Q] [-v] [-metrics] [-obs-addr ADDR] [-obs-linger DUR] [-trace-json FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // Output goes to stdout; progress (with -v) and the -metrics dump to stderr.
 // With -trace-json, every Monsoon run of the campaign streams its structured
@@ -40,10 +40,11 @@ import (
 
 func main() {
 	scaleName := flag.String("scale", "small", "campaign scale: tiny, small, or medium")
-	exp := flag.String("exp", "all", "experiment: all, table1..table8, figure1..figure3, ablation, estimates, plancache, memory, tracecorpus, calibration")
+	exp := flag.String("exp", "all", "experiment: all, table1..table8, figure1..figure3, ablation, estimates, plancache, memory, sharding, tracecorpus, calibration")
 	seed := flag.Int64("seed", 1, "master seed")
 	par := flag.Int("parallelism", 0, "engine worker count: 0 = all cores, 1 = serial (results are identical either way)")
 	batchSize := flag.Int("batch-size", 0, "engine pipeline batch size: 0 = default (4096), negative = unbounded/materialized (results are identical at any size)")
+	shards := flag.Int("shards", 0, "partition every generated catalog into N hash shards for exchange-style execution: 0 or 1 = unsharded (results are identical at any count)")
 	planPar := flag.Int("plan-parallelism", 0, "MCTS planner thread count: 0 = all cores, 1 = serial (plans are identical either way)")
 	verbose := flag.Bool("v", false, "print per-query progress to stderr")
 	metrics := flag.Bool("metrics", false, "dump the campaign's accumulated Monsoon metrics to stderr on exit")
@@ -133,6 +134,7 @@ func main() {
 	sc.BatchSize = *batchSize
 	sc.PlanParallelism = *planPar
 	sc.PlanCache = *planCache
+	sc.Shards = *shards
 
 	var progress io.Writer
 	if *verbose {
@@ -214,6 +216,7 @@ func main() {
 		{name: "estimates", run: func() error { return r.Estimates(w) }},
 		{name: "plancache", run: func() error { return r.PlanCacheStudy(w) }},
 		{name: "memory", run: func() error { return r.MemoryStudy(w) }, onlyExplicit: true},
+		{name: "sharding", run: func() error { return r.ShardingStudy(w) }, onlyExplicit: true},
 		{name: "tracecorpus", run: func() error { return r.TraceCorpus(w) }, onlyExplicit: true},
 		{name: "calibration", run: func() error { return r.CalibrationStudy(w) }, onlyExplicit: true},
 	}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	monsoon-cli -bench tpch|imdb|ott|udf [-query NAME] [-opt monsoon|postgres|defaults|greedy|ondemand|sampling|skinner] [-prior NAME] [-scale tiny|small|medium] [-seed N] [-parallelism N] [-batch-size N] [-plan-parallelism N] [-plan-cache] [-repeat N] [-calibration-file FILE] [-replan-threshold Q] [-trace-json FILE] [-metrics]
+//	monsoon-cli -bench tpch|imdb|ott|udf [-query NAME] [-opt monsoon|postgres|defaults|greedy|ondemand|sampling|skinner] [-prior NAME] [-scale tiny|small|medium] [-seed N] [-parallelism N] [-batch-size N] [-shards N] [-plan-parallelism N] [-plan-cache] [-repeat N] [-calibration-file FILE] [-replan-threshold Q] [-trace-json FILE] [-metrics]
 //
 // Without -query, the available query names for the benchmark are listed.
 package main
@@ -32,6 +32,7 @@ import (
 	"monsoon/internal/plancache"
 	"monsoon/internal/prior"
 	"monsoon/internal/stats"
+	"monsoon/internal/table"
 )
 
 func main() {
@@ -43,6 +44,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed")
 	par := flag.Int("parallelism", 0, "engine worker count: 0 = all cores, 1 = serial (results are identical either way)")
 	batchSize := flag.Int("batch-size", 0, "engine pipeline batch size: 0 = default (4096), negative = unbounded/materialized (results are identical at any size)")
+	shards := flag.Int("shards", 0, "partition the benchmark catalog into N hash shards for exchange-style execution: 0 or 1 = unsharded (results are identical at any count)")
 	planPar := flag.Int("plan-parallelism", 0, "MCTS planner thread count: 0 = all cores, 1 = serial (plans are identical either way; monsoon only)")
 	explain := flag.Bool("explain", false, "print the chosen plan with estimates and actuals (postgres, defaults, greedy)")
 	traceJSON := flag.String("trace-json", "", "write the structured trace (spans, messages, estimates) as JSON lines to FILE")
@@ -69,6 +71,7 @@ func main() {
 	sc.Parallelism = *par
 	sc.BatchSize = *batchSize
 	sc.PlanParallelism = *planPar
+	sc.Shards = *shards
 
 	specs := loadSpecs(*benchName, sc)
 	if *queryName == "" {
@@ -141,6 +144,22 @@ func main() {
 }
 
 func loadSpecs(bench string, sc harness.Scale) []harness.QuerySpec {
+	specs := rawSpecs(bench, sc)
+	if sc.Shards > 1 {
+		// Specs of one benchmark may share a catalog object (tpch/imdb/ott
+		// do); shard each distinct catalog once.
+		done := map[*table.Catalog]bool{}
+		for _, s := range specs {
+			if !done[s.Cat] {
+				s.Cat.Shard(sc.Shards)
+				done[s.Cat] = true
+			}
+		}
+	}
+	return specs
+}
+
+func rawSpecs(bench string, sc harness.Scale) []harness.QuerySpec {
 	switch bench {
 	case "tpch":
 		cat := tpch.Generate(tpch.Config{ScaleFactor: sc.TPCHSF, Seed: sc.Seed})

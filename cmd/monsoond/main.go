@@ -23,10 +23,10 @@
 // Usage:
 //
 //	monsoond [-addr :8080] [-bench tpch|imdb|ott|udf] [-scale tiny|small|medium]
-//	         [-seed N] [-parallelism N] [-batch-size N] [-plan-parallelism N]
-//	         [-iterations N] [-max-concurrent N] [-timeout D] [-max-tuples N]
-//	         [-cache-cap N] [-harden-stats] [-calibration-file FILE]
-//	         [-replan-threshold Q] [-drain-timeout D]
+//	         [-seed N] [-parallelism N] [-batch-size N] [-shards N]
+//	         [-plan-parallelism N] [-iterations N] [-max-concurrent N]
+//	         [-timeout D] [-max-tuples N] [-cache-cap N] [-harden-stats]
+//	         [-calibration-file FILE] [-replan-threshold Q] [-drain-timeout D]
 package main
 
 import (
@@ -50,6 +50,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "base seed; per-query seeds derive from it deterministically")
 	par := flag.Int("parallelism", 0, "engine worker count per query: 0 = all cores, 1 = serial")
 	batchSize := flag.Int("batch-size", 0, "engine pipeline batch size: 0 = default (4096), negative = materialized")
+	shards := flag.Int("shards", 0, "partition the served catalogs into N hash shards for exchange-style execution: 0 or 1 = unsharded (answers are identical at any count)")
 	planPar := flag.Int("plan-parallelism", 0, "MCTS planner thread count per query: 0 = all cores")
 	iterations := flag.Int("iterations", 0, "MCTS rollout budget per planning call: 0 = the scale's default")
 	maxConc := flag.Int("max-concurrent", 8, "admitted queries in flight; excess requests get 429")
@@ -91,6 +92,7 @@ func main() {
 		Seed:             *seed,
 		Parallelism:      *par,
 		BatchSize:        *batchSize,
+		Shards:           *shards,
 		PlanParallelism:  *planPar,
 		MCTSIterations:   *iterations,
 		MaxConcurrent:    *maxConc,

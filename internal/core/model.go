@@ -31,6 +31,11 @@ type Model struct {
 	// policy's greedy join ordering still compares cardinalities, which the
 	// calibration leaves untouched.
 	Profile *cost.CostProfile
+	// Shards exposes the catalog's shard layout to EXECUTE's cost deriver, so
+	// the search prices a reshuffled hash build above a co-partitioned one and
+	// the reshuffle-vs-local choice becomes a real action trade-off. Nil (or
+	// an unsharded layout) keeps simulation bit-identical to pre-sharding.
+	Shards cost.ShardLayout
 }
 
 var (
@@ -46,7 +51,7 @@ var (
 // other's sample streams.
 func (m *Model) Fork(seed int64) mcts.Model {
 	return &Model{Q: m.Q, Prior: m.Prior, Rng: randx.New(seed),
-		UniformRollout: m.UniformRollout, Profile: m.Profile}
+		UniformRollout: m.UniformRollout, Profile: m.Profile, Shards: m.Shards}
 }
 
 // Legal implements mcts.Model.
@@ -73,7 +78,7 @@ func (m *Model) Step(s mcts.State, a mcts.Action) (mcts.State, float64, bool) {
 		return ns, 0, false
 	}
 	ns := st.clone(true)
-	dv := &cost.Deriver{Q: m.Q, St: ns.St, Miss: m.priorMiss(), Profile: m.Profile}
+	dv := &cost.Deriver{Q: m.Q, St: ns.St, Miss: m.priorMiss(), Profile: m.Profile, Layout: m.Shards}
 	total := 0.0
 	for _, t := range ns.Planned {
 		total += dv.PlanCost(t.Tree)

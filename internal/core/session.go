@@ -13,6 +13,7 @@ import (
 	"monsoon/internal/query"
 	"monsoon/internal/randx"
 	"monsoon/internal/stats"
+	"monsoon/internal/table"
 )
 
 // Session is the driver's §5.3 loop made explicit: it owns the long-lived
@@ -118,6 +119,7 @@ func NewSession(q *query.Query, eng *engine.Engine, budget *engine.Budget, cfg C
 		Rng:            randx.New(randx.Derive(cfg.Seed, "sim")),
 		UniformRollout: cfg.UniformRollout,
 		Profile:        cfg.Profile,
+		Shards:         eng.Cat,
 	}
 	if cfg.ReplanThreshold > 0 && cfg.Metrics != nil {
 		// Materialize the replan counters at zero so an armed session always
@@ -138,7 +140,7 @@ func NewSession(q *query.Query, eng *engine.Engine, budget *engine.Budget, cfg C
 	}, randx.Derive(cfg.Seed, "mcts"))
 
 	if cfg.Cache != nil {
-		s.shape = canonicalShape(q, cfg)
+		s.shape = canonicalShape(q, cfg, eng.Cat)
 	}
 	s.qsp = s.tr.Start(obs.KQuery, q.Name)
 	return s
@@ -493,7 +495,7 @@ func (s *Session) Finalize() (*Result, error) {
 // planner knobs that influence plan choice, as the cache-key prefix. Two
 // queries with the same shape, knobs, frontier, and bucketed statistics are
 // planning-equivalent, which is exactly when memoized rounds may be shared.
-func canonicalShape(q *query.Query, cfg Config) string {
+func canonicalShape(q *query.Query, cfg Config, cat *table.Catalog) string {
 	var b strings.Builder
 	for _, r := range q.Rels {
 		fmt.Fprintf(&b, "%s=%s;", r.Alias, r.Table)
@@ -517,6 +519,13 @@ func canonicalShape(q *query.Query, cfg Config) string {
 		// calibrated from a different corpus). Nil profiles append nothing,
 		// preserving every pre-calibration cache key byte-for-byte.
 		fmt.Fprintf(&b, ";prof=%s", cfg.Profile.Fingerprint())
+	}
+	if cat != nil && cat.ShardCount() > 1 {
+		// Sharded sessions price exchanges into EXECUTE, so memoized rounds
+		// only transfer between engines with the same shard layout. Unsharded
+		// catalogs append nothing, keeping S=1 keys byte-identical to every
+		// pre-sharding key.
+		fmt.Fprintf(&b, ";shards=%s", cat.LayoutFingerprint())
 	}
 	return b.String()
 }

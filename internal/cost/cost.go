@@ -18,6 +18,7 @@ package cost
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"monsoon/internal/obs"
 	"monsoon/internal/plan"
@@ -59,6 +60,24 @@ type Deriver struct {
 	// return seconds instead of objects). Nil keeps the historical flat
 	// object-count model, bit-identical to every pinned golden.
 	Profile *CostProfile
+	// Layout, when set to a sharded layout (ShardCount > 1), adds the
+	// exchange movement term: a hash build whose child is not co-partitioned
+	// with the storage layout reshuffles every build row. The flat model
+	// charges the moved objects; a calibrated profile prices them at the
+	// Exchange rate. A nil or unsharded layout changes nothing, so every
+	// pre-sharding cost stays bit-identical.
+	Layout ShardLayout
+}
+
+// ShardLayout is the planner's read-only view of the storage layer's hash
+// shard layout. *table.Catalog implements it; the interface keeps the cost
+// model decoupled from storage and lets tests fake layouts directly.
+type ShardLayout interface {
+	// ShardCount reports the layout width; 1 (or less) means unsharded.
+	ShardCount() int
+	// ShardKey reports the qualified column a stored table is partitioned
+	// on, or false when the layout does not cover the table.
+	ShardKey(table string) (string, bool)
 }
 
 // Distinct resolves d(term, expr | partner): measured over the expression
@@ -170,7 +189,74 @@ func (dv *Deriver) nodeCost(n *plan.Node) float64 {
 	if n.IsLeaf() {
 		return c
 	}
+	c += dv.exchangeObjects(n)
 	return c + dv.nodeCost(n.Left) + dv.nodeCost(n.Right)
+}
+
+// exchangeObjects estimates the rows a join must move across shard
+// boundaries under the current layout: a hash build whose child is not
+// co-partitioned with the storage shards reshuffles its entire build input.
+// Zero when the layout is unsharded, the join degenerates to a nested loop,
+// or the build side is a shard-local scan. One known imprecision: the model
+// cannot see the engine's materialized-intermediate store, so a single-alias
+// leaf that will actually be served from the reuse path (and therefore
+// reshuffled) is still priced shard-local here.
+func (dv *Deriver) exchangeObjects(n *plan.Node) float64 {
+	if dv.Layout == nil || dv.Layout.ShardCount() <= 1 || n.IsLeaf() {
+		return 0
+	}
+	bt := dv.buildTermAt(n)
+	if bt == nil || dv.coPartitioned(n.Right, bt) {
+		return 0
+	}
+	return dv.NodeCount(n.Right)
+}
+
+// buildTermAt mirrors the engine's join strategy choice: the first predicate
+// that splits the children drives a hash join with the right child as the
+// build side; with no such predicate the join is a nested loop. Returns the
+// right-side term of that predicate, or nil for a nested loop.
+func (dv *Deriver) buildTermAt(n *plan.Node) *query.Term {
+	xs, ys := n.Left.Aliases(), n.Right.Aliases()
+	for _, p := range dv.Q.PredsNewAt(xs, ys) {
+		if p.L.Aliases.SubsetOf(xs) && p.R.Aliases.SubsetOf(ys) {
+			return p.R
+		}
+		if p.R.Aliases.SubsetOf(xs) && p.L.Aliases.SubsetOf(ys) {
+			return p.L
+		}
+	}
+	return nil
+}
+
+// coPartitioned reports whether a build child's rows already arrive grouped
+// by the join key's storage shard: the child is an unmaterialized single
+// base table and the build term is the identity of the column the layout
+// shards that table on.
+func (dv *Deriver) coPartitioned(n *plan.Node, bt *query.Term) bool {
+	if !n.IsLeaf() || n.Leaf.Size() != 1 {
+		return false
+	}
+	alias := n.Leaf.Names()[0]
+	tbl, ok := dv.Q.TableOf(alias)
+	if !ok {
+		return false
+	}
+	key, ok := dv.Layout.ShardKey(tbl)
+	if !ok {
+		return false
+	}
+	fn := bt.Fn
+	return fn.Name == "id" && len(fn.Args) == 1 && fn.Args[0] == alias+colSuffix(key)
+}
+
+// colSuffix turns the layout's base-qualified shard key ("lineitem.l_orderkey")
+// into the ".column" suffix an alias-qualified term argument would end with.
+func colSuffix(key string) string {
+	if i := strings.IndexByte(key, '.'); i >= 0 {
+		return key[i:]
+	}
+	return "." + key
 }
 
 // BatchCost sums PlanCost over a set of trees (one EXECUTE transition, §4.4's

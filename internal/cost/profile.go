@@ -58,6 +58,12 @@ type CostProfile struct {
 	NestedLoop  Rate `json:"nested_loop"`
 	Sigma       Rate `json:"sigma"`
 	Materialize Rate `json:"materialize"`
+	// Exchange prices one row moved across shard boundaries by a reshuffled
+	// hash build. No span kind measures exchanges directly (routing happens
+	// inside the build), so the calibrator falls back to the hash-build rate
+	// when unobserved; profile JSONs written before sharding deserialize to a
+	// zero rate, making movement free until recalibrated.
+	Exchange Rate `json:"exchange"`
 }
 
 // profileKinds orders the profile's fields for deterministic rendering; the
@@ -73,7 +79,7 @@ func (p *CostProfile) kinds() []struct {
 		{obs.KScan, &p.Scan}, {obs.KReuse, &p.Reuse},
 		{obs.KHashBuild, &p.HashBuild}, {obs.KHashProbe, &p.HashProbe},
 		{obs.KNestedLoop, &p.NestedLoop}, {obs.KSigma, &p.Sigma},
-		{obs.KMaterialize, &p.Materialize},
+		{obs.KMaterialize, &p.Materialize}, {"exchange", &p.Exchange},
 	}
 }
 
@@ -234,6 +240,12 @@ func (c *Calibrator) Profile() (*CostProfile, error) {
 			k.R.SecondsPerObject = mean
 		}
 	}
+	// Exchanges are never directly observed (no span kind covers them): a
+	// reshuffle routes rows inside the hash build, so its per-row cost tracks
+	// the build's. Prefer that over the all-kinds mean.
+	if p.Exchange.Objects == 0 && p.HashBuild.SecondsPerObject > 0 {
+		p.Exchange.SecondsPerObject = p.HashBuild.SecondsPerObject
+	}
 	return p, nil
 }
 
@@ -276,22 +288,19 @@ func (dv *Deriver) profiledNodeCost(n *plan.Node) float64 {
 	}
 	c := dv.profiledNodeCost(n.Left) + dv.profiledNodeCost(n.Right)
 	if dv.hashJoinAt(n) {
-		return c + p.HashProbe.SecondsPerObject*cnt + p.HashBuild.SecondsPerObject*dv.NodeCount(n.Right)
+		c += p.HashProbe.SecondsPerObject*cnt + p.HashBuild.SecondsPerObject*dv.NodeCount(n.Right)
+		if mv := dv.exchangeObjects(n); mv > 0 {
+			c += p.Exchange.SecondsPerObject * mv
+		}
+		return c
 	}
 	return c + p.NestedLoop.SecondsPerObject*cnt
 }
 
 // hashJoinAt reports whether the engine would run this join as a hash join:
 // some predicate new at the join binds one term wholly inside the left child
-// and the other wholly inside the right (engine.openJoin's exact rule).
+// and the other wholly inside the right (engine.openJoin's exact rule, which
+// buildTermAt mirrors).
 func (dv *Deriver) hashJoinAt(n *plan.Node) bool {
-	xs, ys := n.Left.Aliases(), n.Right.Aliases()
-	for _, pr := range dv.Q.PredsNewAt(xs, ys) {
-		lInL, rInR := pr.L.Aliases.SubsetOf(xs), pr.R.Aliases.SubsetOf(ys)
-		lInR, rInL := pr.L.Aliases.SubsetOf(ys), pr.R.Aliases.SubsetOf(xs)
-		if (lInL && rInR) || (lInR && rInL) {
-			return true
-		}
-	}
-	return false
+	return dv.buildTermAt(n) != nil
 }

@@ -66,6 +66,11 @@ type Config struct {
 	// applied to every query (request-independent: determinism contracts
 	// make them pure wall-time knobs).
 	Parallelism, BatchSize, PlanParallelism int
+	// Shards partitions every served catalog into this many hash shards for
+	// exchange-style execution; 0 or 1 serves unsharded. Query answers are
+	// identical at any count (the shard layout steers plan choice and wall
+	// time, never results).
+	Shards int
 	// MCTSIterations is the per-planning-call rollout budget; 0 uses the
 	// scale's setting.
 	MCTSIterations int
@@ -187,6 +192,9 @@ func (s *Server) load() error {
 	add := func(q *query.Query, cat *table.Catalog, engines map[*table.Catalog]*engine.Engine) {
 		eng, ok := engines[cat]
 		if !ok {
+			if s.cfg.Shards > 1 {
+				cat.Shard(s.cfg.Shards)
+			}
 			eng = engine.New(cat)
 			engines[cat] = eng
 		}
@@ -237,8 +245,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/queries", s.handleQueries)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		shards := s.cfg.Shards
+		if shards < 1 {
+			shards = 1
+		}
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime_ms\":%d}\n", time.Since(s.started).Milliseconds())
+		fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime_ms\":%d,\"shards\":%d}\n", time.Since(s.started).Milliseconds(), shards)
 	})
 	return mux
 }

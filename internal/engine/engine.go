@@ -324,7 +324,12 @@ type hashTable map[uint64][]bucket
 // order with ascending row lists — the invariant the partitioned parallel
 // build reproduces by merging per-worker sub-tables in worker order.
 func (ht hashTable) insert(k value.Value, i int) {
-	h := k.Hash()
+	ht.insertHash(k.Hash(), k, i)
+}
+
+// insertHash is insert with the key hash already computed; the sharded
+// table computes it once for routing and reuses it for the chain lookup.
+func (ht hashTable) insertHash(h uint64, k value.Value, i int) {
 	bs := ht[h]
 	for bi := range bs {
 		if bs[bi].key.Equal(k) {
@@ -334,6 +339,40 @@ func (ht hashTable) insert(k value.Value, i int) {
 	}
 	ht[h] = append(bs, bucket{key: k, rows: []int{i}})
 }
+
+// shardedTable splits a hash-join build across S sub-tables routed by the
+// full key hash (subs[h%S]). Equal hashes always land in the same sub-table
+// and routing never reorders the insertion stream within a sub-table, so
+// collision chains keep the serial first-occurrence order with ascending
+// row lists; the probe side streams in its original order and routes each
+// key the same way, which makes join output bit-identical to the unsharded
+// build for any S. S == 1 is the legacy layout: subs[0] is the one table.
+type shardedTable struct {
+	subs []hashTable
+}
+
+func newShardedTable(s, sizeHint int) *shardedTable {
+	t := &shardedTable{subs: make([]hashTable, s)}
+	for i := range t.subs {
+		t.subs[i] = make(hashTable, sizeHint/s+1)
+	}
+	return t
+}
+
+func (t *shardedTable) insert(k value.Value, i int) {
+	h := k.Hash()
+	t.subs[h%uint64(len(t.subs))].insertHash(h, k, i)
+}
+
+// chains returns the collision chain for a probe key's hash.
+func (t *shardedTable) chains(h uint64) []bucket {
+	return t.subs[h%uint64(len(t.subs))][h]
+}
+
+// shardCount reports the catalog's shard layout width (1 = unsharded); the
+// exchange paths below key every behavior change off it so an unsharded
+// catalog takes exactly the legacy code paths.
+func (e *Exec) shardCount() int { return e.eng.Cat.ShardCount() }
 
 func passResiduals(row table.Row, residuals []residual) bool {
 	for _, r := range residuals {
@@ -375,7 +414,27 @@ func (e *Exec) collectSigma(q *query.Query, n *plan.Node, rel *table.Relation, b
 		ts = append(ts, tracked{term: t, b: b, h: sketch.NewHLL(p)})
 	}
 	sp := e.Obs.Start(obs.KSigma, n.Key()).SetNum("terms", float64(len(ts)))
-	if w := e.workers(rel.Count()); w > 1 && len(ts) > 0 {
+	if s := e.shardCount(); s > 1 && len(ts) > 0 {
+		// Partial-Σ exchange: one HLL pass per storage shard, merged
+		// register-wise. The register merge is a per-register max, so the
+		// merged estimates equal the single-sketch estimates for any S.
+		sp.SetNum("shards", float64(s))
+		terms := make([]*query.Term, len(ts))
+		for i, t := range ts {
+			terms[i] = t.term
+		}
+		merged, err := e.shardedSigma(sp, rel, terms, p, s, budget)
+		if err != nil {
+			sp.SetRows(rel.Count(), 0).SetStr("err", err.Error()).End()
+			return err
+		}
+		if e.Metrics != nil {
+			e.Metrics.Counter("monsoon.exchange.sigma.partials").Add(int64(s))
+		}
+		for i := range ts {
+			ts[i].h = merged[i]
+		}
+	} else if w := e.workers(rel.Count()); w > 1 && len(ts) > 0 {
 		sp.SetNum("workers", float64(w))
 		terms := make([]*query.Term, len(ts))
 		for i, t := range ts {

@@ -226,7 +226,7 @@ func parallelFilter(base *table.Relation, sels []*query.SelPred, budget *Budget,
 // parallelProbe is the fan-out version of the hash-join probe loop: the hash
 // table is shared read-only, the probe side is chunked, and per-worker output
 // buffers are stitched back in probe order.
-func parallelProbe(buildRel, probeRel *table.Relation, ht hashTable, pTerm *query.Term,
+func parallelProbe(buildRel, probeRel *table.Relation, ht *shardedTable, pTerm *query.Term,
 	residuals []residual, outSchema *table.Schema, leftIsBuild bool, budget *Budget, w int, run workerRunner) ([]table.Row, error) {
 	bufs := make([][]table.Row, w)
 	err := run(probeRel.Count(), w, func(worker, lo, hi int) error {
@@ -244,7 +244,7 @@ func parallelProbe(buildRel, probeRel *table.Relation, ht hashTable, pTerm *quer
 			if k.IsNull() {
 				continue
 			}
-			for _, b := range ht[k.Hash()] {
+			for _, b := range ht.chains(k.Hash()) {
 				if !b.key.Equal(k) {
 					continue
 				}
@@ -316,25 +316,206 @@ func parallelBuild(buildRel *table.Relation, bTerm *query.Term, budget *Budget, 
 	}
 	merged := subs[0]
 	for wi := 1; wi < w; wi++ {
-		for h, chain := range subs[wi] {
-			dst := merged[h]
-			for _, b := range chain {
-				found := false
-				for di := range dst {
-					if dst[di].key.Equal(b.key) {
-						dst[di].rows = append(dst[di].rows, b.rows...)
-						found = true
-						break
-					}
-				}
-				if !found {
-					dst = append(dst, b)
+		mergeHashTables(merged, subs[wi])
+	}
+	return merged, inserted, nil
+}
+
+// mergeHashTables folds src's chains into dst: row lists concatenate and
+// unseen buckets append after dst's. Correct only when every row index in
+// src exceeds every index in dst — contiguous ascending worker chunks —
+// which is how both parallel builds call it, worker by worker in order.
+func mergeHashTables(dst, src hashTable) {
+	for h, chain := range src {
+		d := dst[h]
+		for _, b := range chain {
+			found := false
+			for di := range d {
+				if d[di].key.Equal(b.key) {
+					d[di].rows = append(d[di].rows, b.rows...)
+					found = true
+					break
 				}
 			}
-			merged[h] = dst
+			if !found {
+				d = append(d, b)
+			}
+		}
+		dst[h] = d
+	}
+}
+
+// parallelShardedBuild is the exchange-routed parallelBuild: each worker
+// hashes its contiguous chunk into a private shardedTable (routing every
+// key by its full hash), and the per-worker tables merge shard by shard in
+// worker order — the same ascending-chunk merge parallelBuild uses, applied
+// within each sub-table, so the result is identical to a serial routed
+// build, which in turn probes identically to the unsharded table.
+func parallelShardedBuild(buildRel *table.Relation, bTerm *query.Term, s int, budget *Budget, w int, run workerRunner) (*shardedTable, int, error) {
+	subs := make([]*shardedTable, w)
+	ins := make([]int, w)
+	err := run(buildRel.Count(), w, func(worker, lo, hi int) error {
+		bb, _ := bTerm.Fn.Bind(buildRel.Schema)
+		st := newShardedTable(s, hi-lo)
+		subs[worker] = st
+		for j, row := range buildRel.Rows[lo:hi] {
+			// Building produces nothing but must still honor the deadline.
+			if err := budget.Charge(0); err != nil {
+				return err
+			}
+			k := bb.Eval(row)
+			if k.IsNull() {
+				continue
+			}
+			ins[worker]++
+			st.insert(k, lo+j)
+		}
+		return nil
+	})
+	inserted := 0
+	for _, n := range ins {
+		inserted += n
+	}
+	if err != nil {
+		return nil, inserted, err
+	}
+	merged := subs[0]
+	for wi := 1; wi < w; wi++ {
+		for si, sub := range subs[wi].subs {
+			mergeHashTables(merged.subs[si], sub)
 		}
 	}
 	return merged, inserted, nil
+}
+
+// shardLocalBuild is the zero-exchange build of a co-partitioned hash join.
+// The build rows arrived shard-major from the storage layout — bounds[si] is
+// the cumulative end of storage shard si's rows in buildRel — and within
+// storage shard si every key hashes to si mod S by construction (the shard
+// column IS the build key and storage routes by the same value hash). Each
+// sub-table therefore builds directly from its contiguous row range: no
+// per-row routing and, unlike the chunk-partitioned builds, no cross-worker
+// merge — workers own whole sub-tables, partitioned contiguously by shard
+// index. Insertion order within a sub-table is the global (ascending) row
+// order, so chains come out in first-occurrence order with ascending row
+// lists — identical to the serial routed build, which probes identically to
+// the unsharded table. Returns the table and the non-NULL insert count.
+func shardLocalBuild(buildRel *table.Relation, bounds []int, bTerm *query.Term, budget *Budget, w int, run workerRunner) (*shardedTable, int, error) {
+	s := len(bounds)
+	if w > s {
+		w = s
+	}
+	if w < 1 {
+		w = 1
+	}
+	t := &shardedTable{subs: make([]hashTable, s)}
+	ins := make([]int, s)
+	err := run(s, w, func(_, lo, hi int) error {
+		bb, _ := bTerm.Fn.Bind(buildRel.Schema)
+		for si := lo; si < hi; si++ {
+			start := 0
+			if si > 0 {
+				start = bounds[si-1]
+			}
+			rows := buildRel.Rows[start:bounds[si]]
+			ht := make(hashTable, len(rows))
+			t.subs[si] = ht
+			for j, row := range rows {
+				// Building produces nothing but must still honor the deadline.
+				if err := budget.Charge(0); err != nil {
+					return err
+				}
+				k := bb.Eval(row)
+				if k.IsNull() {
+					continue
+				}
+				ins[si]++
+				ht.insertHash(k.Hash(), k, start+j)
+			}
+		}
+		return nil
+	})
+	inserted := 0
+	for _, n := range ins {
+		inserted += n
+	}
+	if err != nil {
+		return nil, inserted, err
+	}
+	return t, inserted, nil
+}
+
+// shardLocalBuildPerm is shardLocalBuild without the drain: when the
+// co-partitioned build leaf has no pushed-down selections, every stored row
+// survives the scan, so sub-tables build in place off the base relation,
+// inserting global row indices. The bit-identity argument is the same — all
+// rows of one key live in one shard and in-shard indices ascend, so every
+// bucket's chain and row list matches the serial unsharded build's — but no
+// row header is ever copied.
+//
+// coPartitioned guarantees the build term is the identity of the shard
+// column, so the key of row i is Rows[i][0] and its hash is the layout's
+// cached RowHash[i]; the build never re-runs the binding or FNV. Serially
+// it routes a single sequential pass over the stored rows (the prefetchable
+// access pattern the unsharded build enjoys); with workers each owns whole
+// sub-tables and walks its shards' permutation slices instead, trading
+// strided row reads for merge-free parallelism.
+func shardLocalBuildPerm(buildRel *table.Relation, sh *table.Sharded, budget *Budget, w int, run workerRunner) (*shardedTable, int, error) {
+	s := sh.NumShards()
+	if w > s {
+		w = s
+	}
+	if w < 1 {
+		w = 1
+	}
+	t := &shardedTable{subs: make([]hashTable, s)}
+	for si := 0; si < s; si++ {
+		t.subs[si] = make(hashTable, len(sh.Shard(si)))
+	}
+	if w == 1 {
+		inserted := 0
+		for i, row := range buildRel.Rows {
+			// Building produces nothing but must still honor the deadline.
+			if err := budget.Charge(0); err != nil {
+				return nil, inserted, err
+			}
+			k := row[0]
+			if k.IsNull() {
+				continue
+			}
+			inserted++
+			h := sh.RowHash[i]
+			t.subs[h%uint64(s)].insertHash(h, k, i)
+		}
+		return t, inserted, nil
+	}
+	ins := make([]int, s)
+	err := run(s, w, func(_, lo, hi int) error {
+		for si := lo; si < hi; si++ {
+			ht := t.subs[si]
+			for _, id := range sh.Shard(si) {
+				if err := budget.Charge(0); err != nil {
+					return err
+				}
+				row := buildRel.Rows[id]
+				k := row[0]
+				if k.IsNull() {
+					continue
+				}
+				ins[si]++
+				ht.insertHash(sh.RowHash[id], k, int(id))
+			}
+		}
+		return nil
+	})
+	inserted := 0
+	for _, n := range ins {
+		inserted += n
+	}
+	if err != nil {
+		return nil, inserted, err
+	}
+	return t, inserted, nil
 }
 
 // parallelNestedLoop fans the filtered-product scan out over contiguous
@@ -424,6 +605,72 @@ func parallelSigma(rel *table.Relation, terms []*query.Term, p uint8, budget *Bu
 		for _, hs := range clones {
 			merged[i].Merge(hs[i])
 		}
+	}
+	return merged, nil
+}
+
+// serialSigma runs one relation's Σ pass inline — the per-shard fallback
+// when a shard is too small to fan out. Charging and estimates match the
+// parallel path exactly.
+func serialSigma(rel *table.Relation, terms []*query.Term, p uint8, budget *Budget) (sigmaSketches, error) {
+	bs := make([]*expr.Binding, len(terms))
+	hs := make(sigmaSketches, len(terms))
+	for i, t := range terms {
+		bs[i], _ = t.Fn.Bind(rel.Schema)
+		hs[i] = sketch.NewHLL(p)
+	}
+	for _, row := range rel.Rows {
+		if err := budget.Charge(1); err != nil {
+			return nil, err
+		}
+		for i, b := range bs {
+			v := b.Eval(row)
+			if v.IsNull() {
+				continue
+			}
+			hs[i].Add(v.Hash())
+		}
+	}
+	return hs, nil
+}
+
+// shardedSigma is the partial-Σ exchange: the materialized result is
+// partitioned by its first column's hash — the storage layer's routing —
+// and every shard runs its own HLL pass under a per-shard KShard span,
+// fanning out within the shard when it is large enough. The partials merge
+// register-wise in shard index order; the merge is a per-register max, so
+// estimates are identical to the single-pass sketch for any partitioning,
+// and budget totals are identical because every row is charged exactly once
+// regardless of which shard visits it.
+func (e *Exec) shardedSigma(op *obs.Span, rel *table.Relation, terms []*query.Term, p uint8, s int, budget *Budget) (sigmaSketches, error) {
+	parts := make([][]table.Row, s)
+	for _, row := range rel.Rows {
+		h := row[0].Hash() % uint64(s)
+		parts[h] = append(parts[h], row)
+	}
+	merged := make(sigmaSketches, len(terms))
+	for i := range terms {
+		merged[i] = sketch.NewHLL(p)
+	}
+	for si, part := range parts {
+		ssp := e.Obs.StartChild(op, obs.KShard, fmt.Sprintf("s%d", si)).SetRows(len(part), len(terms))
+		shard := table.NewRelation(rel.Name, rel.Schema, part)
+		var partials sigmaSketches
+		var err error
+		if w := e.workers(len(part)); w > 1 {
+			ssp.SetNum("workers", float64(w))
+			partials, err = parallelSigma(shard, terms, p, budget, w, e.tracedRunner(ssp))
+		} else {
+			partials, err = serialSigma(shard, terms, p, budget)
+		}
+		if err != nil {
+			ssp.SetStr("err", err.Error()).End()
+			return nil, err
+		}
+		for i := range terms {
+			merged[i].Merge(partials[i])
+		}
+		ssp.End()
 	}
 	return merged, nil
 }

@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"monsoon/internal/expr"
+	"monsoon/internal/plan"
+	"monsoon/internal/query"
+	"monsoon/internal/table"
+	"monsoon/internal/value"
+)
+
+// benchCatalog builds the sharding study's shape in miniature: a probe table
+// P and a build table B whose first column is the join key (so sharding
+// co-partitions the join), with buildPerKey build rows per distinct key.
+func benchCatalog(probeRows, buildRows, keys int) *table.Catalog {
+	cat := table.NewCatalog()
+	ps := table.NewSchema(
+		table.Column{Table: "P", Name: "a", Kind: value.KindInt},
+		table.Column{Table: "P", Name: "b", Kind: value.KindInt},
+	)
+	pb := table.NewBuilder("P", ps)
+	for i := 0; i < probeRows; i++ {
+		pb.Add(value.Int(int64(i%keys)), value.Int(int64(i)))
+	}
+	cat.Put(pb.Build())
+	bs := table.NewSchema(
+		table.Column{Table: "B", Name: "k", Kind: value.KindInt},
+		table.Column{Table: "B", Name: "v", Kind: value.KindInt},
+	)
+	bb := table.NewBuilder("B", bs)
+	for i := 0; i < buildRows; i++ {
+		bb.Add(value.Int(int64(i%keys)), value.Int(int64(i)))
+	}
+	cat.Put(bb.Build())
+	return cat
+}
+
+func benchQuery() *query.Query {
+	return query.NewBuilder("bench").
+		Rel("P", "P").Rel("B", "B").
+		Join(expr.Identity("P.a"), expr.Identity("B.k")).
+		MustBuild()
+}
+
+// BenchmarkCopartHashJoin times the full ExecTree drain of a co-partitioned
+// hash join (build key = shard column) across shard counts. S=1 is the
+// unsharded baseline; S>1 takes the shard-local scan + zero-exchange build.
+func BenchmarkCopartHashJoin(b *testing.B) {
+	cat := benchCatalog(150_000, 600_000, 150_000)
+	q := benchQuery()
+	tree := plan.NewJoin(leaf("P"), leaf("B"))
+	for _, s := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("S=%d", s), func(b *testing.B) {
+			cat.Shard(s)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e := New(cat)
+				if _, _, err := e.ExecTree(q, tree, &Budget{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	cat.Shard(1)
+}
+
+// BenchmarkShardedBuildOnly isolates the hash-build strategies the join
+// chooses from: the chunk-partitioned flat build plus merge (the S=1 path),
+// the hash-routed sharded build plus merge (the reshuffle path), and the
+// zero-exchange shard-local build (the co-partitioned path).
+func BenchmarkShardedBuildOnly(b *testing.B) {
+	const rows, keys, shards, workers = 600_000, 150_000, 16, 8
+	cat := benchCatalog(1, rows, keys)
+	buildRel := cat.MustGet("B")
+	bTerm := &query.Term{Aliases: query.NewAliasSet("B"), Fn: expr.Identity("B.k")}
+
+	b.Run("flat+merge", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := parallelBuild(buildRel, bTerm, &Budget{}, workers, runWorkers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("routed+merge", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := parallelShardedBuild(buildRel, bTerm, shards, &Budget{}, workers, runWorkers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("shard-local", func(b *testing.B) {
+		// Shard-major row order with per-shard bounds, as the shard-local
+		// scan would deliver them.
+		rel, bounds := shardMajor(buildRel, shards)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := shardLocalBuild(rel, bounds, bTerm, &Budget{}, workers, runWorkers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// shardMajor reorders a relation shard-major by its first column's hash,
+// returning the reordered relation and the cumulative per-shard bounds —
+// the exact input shape shardLocalBuild consumes.
+func shardMajor(rel *table.Relation, s int) (*table.Relation, []int) {
+	parts := make([][]table.Row, s)
+	for _, row := range rel.Rows {
+		h := row[0].Hash() % uint64(s)
+		parts[h] = append(parts[h], row)
+	}
+	var rows []table.Row
+	bounds := make([]int, 0, s)
+	for _, p := range parts {
+		rows = append(rows, p...)
+		bounds = append(bounds, len(rows))
+	}
+	return table.NewRelation(rel.Name, rel.Schema, rows), bounds
+}

@@ -1,0 +1,266 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"monsoon/internal/expr"
+	"monsoon/internal/obs"
+	"monsoon/internal/plan"
+	"monsoon/internal/query"
+	"monsoon/internal/table"
+	"monsoon/internal/value"
+)
+
+// shardCounts spans the layouts the exchange paths must be invisible under:
+// unsharded, tiny, and wider than some tables' distinct first-column values.
+var shardCounts = []int{1, 2, 4, 16}
+
+// TestShardedMatchesUnsharded is the exchange determinism gate: for any
+// shard count, batch size, and worker count, every tree shape — the
+// co-partitioned build (S is joined on its first column), the reshuffled
+// build (R joined on its second column b), deep trees, and Σ roots — must
+// be bit-identical to the unsharded serial materialized run: same rows in
+// the same order, same counts, same produced charge, same Σ estimates.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	q := rstQuery()
+	trees := map[string]*plan.Node{
+		"copart":     plan.NewJoin(leaf("R"), leaf("S")),
+		"reshuffle":  plan.NewJoin(leaf("T"), leaf("R")),
+		"three-way":  plan.NewJoin(plan.NewJoin(leaf("R"), leaf("S")), leaf("T")),
+		"right-deep": plan.NewJoin(leaf("T"), plan.NewJoin(leaf("S"), leaf("R"))),
+		"sigma-join": plan.NewJoin(leaf("R"), leaf("S")).WithSigma(),
+		"sigma-leaf": leaf("R").WithSigma(),
+		"cross":      plan.NewJoin(leaf("S"), leaf("T")),
+	}
+	for name, tree := range trees {
+		refRel, refRes, refProduced := execAt(t, fixture(), q, tree, -1, 1)
+		for _, s := range shardCounts {
+			for _, batch := range []int{1, 4096, -1} {
+				for _, par := range []int{1, 4} {
+					cat := fixture()
+					cat.Shard(s)
+					rel, res, produced := execAt(t, cat, q, tree, batch, par)
+					if !reflect.DeepEqual(rel.Rows, refRel.Rows) {
+						t.Errorf("%s S=%d batch=%d par=%d: rows differ from unsharded (%d vs %d)",
+							name, s, batch, par, rel.Count(), refRel.Count())
+					}
+					if !reflect.DeepEqual(res.Counts, refRes.Counts) {
+						t.Errorf("%s S=%d batch=%d par=%d: counts %v, want %v",
+							name, s, batch, par, res.Counts, refRes.Counts)
+					}
+					if res.Produced != refRes.Produced || produced != refProduced {
+						t.Errorf("%s S=%d batch=%d par=%d: produced %v/%v, want %v/%v",
+							name, s, batch, par, res.Produced, produced, refRes.Produced, refProduced)
+					}
+					if !reflect.DeepEqual(res.Sigma, refRes.Sigma) {
+						t.Errorf("%s S=%d batch=%d par=%d: sigma observations diverged",
+							name, s, batch, par)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedLargeParallel crosses the fan-out thresholds: the big fixture's
+// co-partitioned join exercises parallelShardedBuild, the shard-local scan's
+// per-shard parallelFilter, and the sharded partial-Σ merge at real widths.
+func TestShardedLargeParallel(t *testing.T) {
+	q := bigQuery()
+	tree := plan.NewJoin(leaf("BR"), leaf("BS")).WithSigma()
+	refRel, refRes, refProduced := execAt(t, bigFixture(), q, tree, -1, 1)
+	for _, s := range shardCounts {
+		for _, par := range []int{1, 4} {
+			cat := bigFixture()
+			cat.Shard(s)
+			rel, res, produced := execAt(t, cat, q, tree, 4096, par)
+			if !reflect.DeepEqual(rel.Rows, refRel.Rows) {
+				t.Errorf("S=%d par=%d: rows differ from unsharded", s, par)
+			}
+			if res.Produced != refRes.Produced || produced != refProduced {
+				t.Errorf("S=%d par=%d: produced %v/%v, want %v/%v",
+					s, par, res.Produced, produced, refRes.Produced, refProduced)
+			}
+			if !reflect.DeepEqual(res.Sigma, refRes.Sigma) {
+				t.Errorf("S=%d par=%d: sigma estimates diverged", s, par)
+			}
+		}
+	}
+}
+
+// TestShardedBuildSideSelections pushes a selection onto the co-partitioned
+// build side so the shard-local scan filters within shards (serial and
+// fanned-out) and still matches the unsharded answer exactly.
+func TestShardedBuildSideSelections(t *testing.T) {
+	q := query.NewBuilder("bigsel").
+		Rel("BR", "BR").Rel("BS", "BS").
+		Join(expr.Identity("BR.a"), expr.Identity("BS.k")).
+		Select(expr.Identity("BS.k"), value.Int(37)).
+		MustBuild()
+	tree := plan.NewJoin(leaf("BR"), leaf("BS"))
+	refRel, refRes, _ := execAt(t, bigFixture(), q, tree, -1, 1)
+	for _, s := range shardCounts {
+		for _, par := range []int{1, 4} {
+			cat := bigFixture()
+			cat.Shard(s)
+			rel, res, _ := execAt(t, cat, q, tree, 4096, par)
+			if !reflect.DeepEqual(rel.Rows, refRel.Rows) {
+				t.Errorf("S=%d par=%d: filtered build rows differ", s, par)
+			}
+			if res.Produced != refRes.Produced {
+				t.Errorf("S=%d par=%d: produced %v, want %v", s, par, res.Produced, refRes.Produced)
+			}
+		}
+	}
+}
+
+// TestShardedSpansAndCounters checks the exchange telemetry: a
+// co-partitioned build carries local=1 with per-shard KShard spans under
+// its scan, a reshuffled build carries local=0 with the moved-row count,
+// and the monsoon.exchange.* counters see both. At S=1 none of it appears.
+func TestShardedSpansAndCounters(t *testing.T) {
+	run := func(s int, tree *plan.Node) (*obs.Collector, *obs.Registry) {
+		cat := fixture()
+		cat.Shard(s)
+		col := &obs.Collector{}
+		reg := obs.NewRegistry()
+		e := New(cat)
+		e.Obs = obs.NewTracer(col)
+		e.Metrics = reg
+		if _, _, err := e.ExecTree(rstQuery(), tree, &Budget{}); err != nil {
+			t.Fatal(err)
+		}
+		return col, reg
+	}
+
+	copart := plan.NewJoin(leaf("R"), leaf("S")).WithSigma()
+	col, reg := run(4, copart)
+	var scanSpans, shardSpans []*obs.Span
+	byID := map[int]*obs.Span{}
+	for _, sp := range col.Spans {
+		byID[sp.ID] = sp
+		switch sp.Kind {
+		case obs.KScan:
+			scanSpans = append(scanSpans, sp)
+		case obs.KShard:
+			shardSpans = append(shardSpans, sp)
+		case obs.KHashBuild:
+			if sp.Num["shards"] != 4 || sp.Num["local"] != 1 {
+				t.Errorf("co-partitioned build attrs = %v, want shards=4 local=1", sp.Num)
+			}
+			if _, ok := sp.Num["exchange_rows"]; ok {
+				t.Error("co-partitioned build must not report exchange_rows")
+			}
+		}
+	}
+	// The build-side scan (S) is shard-local: 4 KShard children; the Σ pass
+	// adds 4 more. The probe-side scan (R) stays a plain scan.
+	if len(shardSpans) != 8 {
+		t.Fatalf("got %d KShard spans, want 8 (4 scan + 4 sigma)", len(shardSpans))
+	}
+	for _, sp := range shardSpans {
+		p, ok := byID[sp.Parent]
+		if !ok || (p.Kind != obs.KScan && p.Kind != obs.KSigma) {
+			t.Errorf("KShard span parented to %v, want a scan or sigma span", p)
+		}
+	}
+	if got := reg.Counter("monsoon.exchange.joins.local").Value(); got != 1 {
+		t.Errorf("joins.local = %d, want 1", got)
+	}
+	if got := reg.Counter("monsoon.exchange.joins.reshuffle").Value(); got != 0 {
+		t.Errorf("joins.reshuffle = %d, want 0", got)
+	}
+	if got := reg.Counter("monsoon.exchange.sigma.partials").Value(); got != 4 {
+		t.Errorf("sigma.partials = %d, want 4", got)
+	}
+
+	// R joined on its second column b: the build side is R (1000 rows, all
+	// keys non-NULL), so the build must reshuffle all 1000 rows.
+	reshuffle := plan.NewJoin(leaf("T"), leaf("R"))
+	col, reg = run(4, reshuffle)
+	sawBuild := false
+	for _, sp := range col.Spans {
+		if sp.Kind == obs.KShard {
+			t.Error("reshuffled build must not emit shard-local scan spans")
+		}
+		if sp.Kind == obs.KHashBuild {
+			sawBuild = true
+			if sp.Num["shards"] != 4 || sp.Num["local"] != 0 || sp.Num["exchange_rows"] != 1000 {
+				t.Errorf("reshuffle build attrs = %v, want shards=4 local=0 exchange_rows=1000", sp.Num)
+			}
+		}
+	}
+	if !sawBuild {
+		t.Fatal("no KHashBuild span recorded")
+	}
+	if got := reg.Counter("monsoon.exchange.joins.reshuffle").Value(); got != 1 {
+		t.Errorf("joins.reshuffle = %d, want 1", got)
+	}
+	if got := reg.Counter("monsoon.exchange.rows").Value(); got != 1000 {
+		t.Errorf("exchange.rows = %d, want 1000", got)
+	}
+
+	// S=1 keeps the legacy telemetry: no shard spans, no exchange attrs.
+	col, reg = run(1, copart)
+	for _, sp := range col.Spans {
+		if sp.Kind == obs.KShard {
+			t.Error("unsharded run emitted a KShard span")
+		}
+		if _, ok := sp.Num["shards"]; ok {
+			t.Errorf("unsharded %s span carries a shards attribute", sp.Kind)
+		}
+	}
+	for _, name := range []string{"monsoon.exchange.joins.local", "monsoon.exchange.joins.reshuffle",
+		"monsoon.exchange.rows", "monsoon.exchange.sigma.partials"} {
+		if got := reg.Counter(name).Value(); got != 0 {
+			t.Errorf("unsharded run bumped %s to %d", name, got)
+		}
+	}
+}
+
+// TestShardedMaterializedReuseNotLocal pins the Re-store guard: a leaf that
+// was materialized in a prior step is served from the reuse path, whose rows
+// are not shard-partitioned, so the join must reshuffle — and still match
+// the unsharded two-step run exactly.
+func TestShardedMaterializedReuseNotLocal(t *testing.T) {
+	q := rstQuery()
+	twoStep := func(cat *table.Catalog, reg *obs.Registry) *table.Relation {
+		e := New(cat)
+		e.Metrics = reg
+		if _, _, err := e.ExecTree(q, leaf("S"), &Budget{}); err != nil {
+			t.Fatal(err)
+		}
+		rel, _, err := e.ExecTree(q, plan.NewJoin(leaf("R"), leaf("S")), &Budget{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rel
+	}
+	ref := twoStep(fixture(), nil)
+	cat := fixture()
+	cat.Shard(4)
+	reg := obs.NewRegistry()
+	rel := twoStep(cat, reg)
+	if !reflect.DeepEqual(rel.Rows, ref.Rows) {
+		t.Error("sharded two-step run diverged from unsharded")
+	}
+	if got := reg.Counter("monsoon.exchange.joins.local").Value(); got != 0 {
+		t.Errorf("reused build counted as shard-local (%d)", got)
+	}
+	if got := reg.Counter("monsoon.exchange.joins.reshuffle").Value(); got != 1 {
+		t.Errorf("joins.reshuffle = %d, want 1", got)
+	}
+}
+
+// TestShardedBudgetAbort: the shard-local scan must stop at the tuple cap
+// like every other operator, and report ErrBudget, not a wrong answer.
+func TestShardedBudgetAbort(t *testing.T) {
+	cat := bigFixture()
+	cat.Shard(4)
+	e := New(cat)
+	_, _, err := e.ExecTree(bigQuery(), plan.NewJoin(leaf("BR"), leaf("BS")), &Budget{MaxTuples: 100})
+	if err != ErrBudget {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}

@@ -337,15 +337,6 @@ func (e *Exec) openJoin(q *query.Query, n *plan.Node, budget *Budget, res *ExecR
 		jsp.SetStr("err", err.Error()).End()
 		return nil, nil, err
 	}
-	left, lschema, err := e.open(q, n.Left, budget, res, jsp)
-	if err != nil {
-		return fail(err)
-	}
-	right, rschema, err := e.open(q, n.Right, budget, res, jsp)
-	if err != nil {
-		return fail(err, left)
-	}
-	outSchema := lschema.Concat(rschema)
 	newPreds := q.PredsNewAt(n.Left.Aliases(), n.Right.Aliases())
 	newSels := q.SelsNewAt(n.Left.Aliases(), n.Right.Aliases())
 
@@ -353,7 +344,9 @@ func (e *Exec) openJoin(q *query.Query, n *plan.Node, budget *Budget, res *ExecR
 	// The build side is always the right child — under streaming the left
 	// side's cardinality is unknown until drained, so the materialized
 	// engine's build-on-the-smaller-side swap is no longer possible — and
-	// the probe term binds the (streaming) left child.
+	// the probe term binds the (streaming) left child. Chosen before the
+	// children open (it is pure) so the exchange decision below can steer
+	// how the build child is scanned.
 	var hashPred *query.JoinPred
 	var buildTerm, probeTerm *query.Term
 	for _, p := range newPreds {
@@ -370,6 +363,34 @@ func (e *Exec) openJoin(q *query.Query, n *plan.Node, budget *Budget, res *ExecR
 			break
 		}
 	}
+
+	// Exchange decision: a build child served directly by the storage
+	// layer's shard layout on the join key scans shard-local (shard-major,
+	// zero moved rows); any other hash build at S > 1 is a reshuffle —
+	// every row is hash-routed into the sharded table it belongs to.
+	shards := e.shardCount()
+	localBuild := shards > 1 && hashPred != nil && e.coPartitioned(q, n.Right, buildTerm)
+
+	left, lschema, err := e.open(q, n.Left, budget, res, jsp)
+	if err != nil {
+		return fail(err)
+	}
+	var right rowIter
+	var rschema *table.Schema
+	var shardScan *shardScanIter
+	var zeroRel *table.Relation // in-place build input (no drain) when set
+	var zeroSh *table.Sharded
+	if localBuild && len(q.SelsAt(n.Right.Leaf)) == 0 {
+		zeroRel, zeroSh, rschema, err = e.openShardZero(q, n.Right, budget, res, jsp)
+	} else if localBuild {
+		right, shardScan, rschema, err = e.openShard(q, n.Right, budget, res, jsp)
+	} else {
+		right, rschema, err = e.open(q, n.Right, budget, res, jsp)
+	}
+	if err != nil {
+		return fail(err, left)
+	}
+	outSchema := lschema.Concat(rschema)
 
 	// Everything else is residual, evaluated over the concatenated row.
 	var residuals []residual
@@ -394,21 +415,27 @@ func (e *Exec) openJoin(q *query.Query, n *plan.Node, budget *Budget, res *ExecR
 
 	// Pipeline breaker: drain the right child in full. Hash builds need
 	// every build row before the first probe, and the nested loop re-scans
-	// its inner side once per outer row.
-	var rrows []table.Row
-	for {
-		b, err := right.Next()
-		if err != nil {
-			right.Close(err)
-			return fail(err, left)
+	// its inner side once per outer row. The zero-copy shard path already
+	// holds its full input (the stored rows themselves) and skips the drain.
+	var buildRel *table.Relation
+	if zeroRel != nil {
+		buildRel = zeroRel
+	} else {
+		var rrows []table.Row
+		for {
+			b, err := right.Next()
+			if err != nil {
+				right.Close(err)
+				return fail(err, left)
+			}
+			if b == nil {
+				break
+			}
+			rrows = append(rrows, b...)
 		}
-		if b == nil {
-			break
-		}
-		rrows = append(rrows, b...)
+		right.Close(nil)
+		buildRel = table.NewRelation(n.Right.Key(), rschema, rrows)
 	}
-	right.Close(nil)
-	buildRel := table.NewRelation(n.Right.Key(), rschema, rrows)
 
 	if hashPred == nil {
 		sp := e.Obs.StartChild(jsp, obs.KNestedLoop, n.Key()).SetNum("residuals", float64(len(residuals)))
@@ -427,17 +454,63 @@ func (e *Exec) openJoin(q *query.Query, n *plan.Node, budget *Budget, res *ExecR
 		return fail(fmt.Errorf("engine: term %s not bindable on probe side", probeTerm), left)
 	}
 	bsp := e.Obs.StartChild(jsp, obs.KHashBuild, n.Key())
-	var ht hashTable
+	var ht *shardedTable
 	inserted := 0
-	if w := e.workers(buildRel.Count()); w > 1 {
+	if zeroSh != nil {
+		// Zero-exchange, zero-copy build: sub-tables build in place off the
+		// stored rows through the layout's permutation, inserting global row
+		// indices. Within a storage shard indices ascend and every key's rows
+		// live in one shard, so chains and row lists come out exactly as the
+		// serial unsharded build orders them.
+		w := e.workers(buildRel.Count())
+		if w > shards {
+			w = shards
+		}
+		run := workerRunner(runWorkers)
+		if w > 1 {
+			bsp.SetNum("workers", float64(w))
+			run = e.tracedRunner(bsp)
+		}
+		ht, inserted, err = shardLocalBuildPerm(buildRel, zeroSh, budget, w, run)
+		if err != nil {
+			bsp.SetRows(buildRel.Count(), inserted).SetStr("err", err.Error()).End()
+			return fail(err, left)
+		}
+	} else if localBuild && len(shardScan.bounds) == shards {
+		// Zero-exchange build over a filtered shard-local drain: the drained
+		// rows are shard-major and within a storage shard every key already
+		// hashes to that shard, so each sub-table builds directly from its
+		// contiguous row range — no routing and, unlike the chunk-partitioned
+		// builds below, no cross-worker merge. Workers own whole sub-tables.
+		w := e.workers(buildRel.Count())
+		if w > shards {
+			w = shards
+		}
+		run := workerRunner(runWorkers)
+		if w > 1 {
+			bsp.SetNum("workers", float64(w))
+			run = e.tracedRunner(bsp)
+		}
+		ht, inserted, err = shardLocalBuild(buildRel, shardScan.bounds, buildTerm, budget, w, run)
+		if err != nil {
+			bsp.SetRows(buildRel.Count(), inserted).SetStr("err", err.Error()).End()
+			return fail(err, left)
+		}
+	} else if w := e.workers(buildRel.Count()); w > 1 {
 		bsp.SetNum("workers", float64(w))
-		ht, inserted, err = parallelBuild(buildRel, buildTerm, budget, w, e.tracedRunner(bsp))
+		if shards > 1 {
+			ht, inserted, err = parallelShardedBuild(buildRel, buildTerm, shards, budget, w, e.tracedRunner(bsp))
+		} else {
+			var flat hashTable
+			flat, inserted, err = parallelBuild(buildRel, buildTerm, budget, w, e.tracedRunner(bsp))
+			ht = &shardedTable{subs: []hashTable{flat}}
+		}
 		if err != nil {
 			bsp.SetRows(buildRel.Count(), inserted).SetStr("err", err.Error()).End()
 			return fail(err, left)
 		}
 	} else {
-		ht = make(hashTable, buildRel.Count())
+		ht = newShardedTable(shards, buildRel.Count())
 		for i, row := range buildRel.Rows {
 			// Building produces nothing but must still honor the deadline.
 			if err := budget.Charge(0); err != nil {
@@ -450,6 +523,24 @@ func (e *Exec) openJoin(q *query.Query, n *plan.Node, budget *Budget, res *ExecR
 			}
 			inserted++
 			ht.insert(k, i)
+		}
+	}
+	if shards > 1 {
+		bsp.SetNum("shards", float64(shards))
+		if localBuild {
+			bsp.SetNum("local", 1)
+		} else {
+			// Reshuffle: every inserted row was hash-routed across the
+			// exchange, so the whole build side counts as moved.
+			bsp.SetNum("local", 0).SetNum("exchange_rows", float64(inserted))
+		}
+		if e.Metrics != nil {
+			if localBuild {
+				e.Metrics.Counter("monsoon.exchange.joins.local").Inc()
+			} else {
+				e.Metrics.Counter("monsoon.exchange.joins.reshuffle").Inc()
+				e.Metrics.Counter("monsoon.exchange.rows").Add(int64(inserted))
+			}
 		}
 	}
 	bsp.SetRows(buildRel.Count(), inserted).SetNum("residuals", float64(len(residuals))).End()
@@ -470,7 +561,7 @@ type hashJoinIter struct {
 	jsp, psp    *obs.Span
 	left        rowIter
 	buildRel    *table.Relation
-	ht          hashTable
+	ht          *shardedTable
 	pb          *expr.Binding
 	probeTerm   *query.Term
 	probeSchema *table.Schema
@@ -526,7 +617,7 @@ func (h *hashJoinIter) Next() ([]table.Row, error) {
 				if k.IsNull() {
 					continue
 				}
-				for _, b := range h.ht[k.Hash()] {
+				for _, b := range h.ht.chains(k.Hash()) {
 					if !b.key.Equal(k) {
 						continue
 					}
@@ -672,6 +763,272 @@ func (nl *nestedLoopIter) Close(err error) {
 	}
 	nl.sp.SetRows(nl.pairs, nl.emitted).SetProduced(float64(nl.emitted)).End()
 	nl.jsp.SetRows(0, nl.emitted).End()
+}
+
+// coPartitioned reports whether a join's build child is served directly by
+// the storage layer's shard layout: an unmaterialized single-alias leaf
+// whose build term is the identity of the table's shard column. Equal join
+// keys then never span storage shards (the shard column IS the join key and
+// routing is by its hash), so the build can scan shard-major with zero row
+// movement and still yield the serial hash-table layout — within a storage
+// shard rows keep their original relative order, and all rows of one key
+// live in one shard, so every chain's row list matches the serial build's.
+func (e *Exec) coPartitioned(q *query.Query, n *plan.Node, buildTerm *query.Term) bool {
+	if buildTerm == nil || !n.IsLeaf() || n.Leaf.Size() != 1 {
+		return false
+	}
+	if _, mat := e.mats[n.Key()]; mat {
+		// A materialized intermediate is reused from the Re store, not the
+		// storage layer; its rows are not shard-partitioned.
+		return false
+	}
+	alias := n.Leaf.Names()[0]
+	tbl, ok := q.TableOf(alias)
+	if !ok {
+		return false
+	}
+	sh, ok := e.eng.Cat.ShardsOf(tbl)
+	if !ok || sh.Col == "" {
+		return false
+	}
+	base := e.eng.Cat.MustGet(tbl)
+	fn := buildTerm.Fn
+	return fn.Name == "id" && len(fn.Args) == 1 &&
+		fn.Args[0] == alias+"."+base.Schema.Cols[0].Name
+}
+
+// openShard opens a co-partitioned build leaf as a shard-local scan,
+// mirroring open's accounting (inclusive open time, nodeIter wrapping). The
+// concrete scan iterator is returned alongside so the enclosing join can read
+// its shard boundaries after the drain.
+func (e *Exec) openShard(q *query.Query, n *plan.Node, budget *Budget, res *ExecResult, parent *obs.Span) (rowIter, *shardScanIter, *table.Schema, error) {
+	t0 := time.Now()
+	it, schema, err := e.openShardLeaf(q, n, budget, parent)
+	res.Times[n.Key()] += time.Since(t0)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return &nodeIter{inner: it, key: n.Key(), res: res}, it, schema, nil
+}
+
+// openShardZero is the zero-copy variant of the shard-local build scan for
+// leaves with no pushed-down selections: every stored row survives the
+// "scan", so there is nothing to gather or drain — the build can read the
+// base relation in place through the layout's permutation. The trace and
+// budget are indistinguishable from a full shard-local drain (same KScan
+// span, one KShard child per storage shard, slab-granular tuple charges);
+// only the 2× per-row-header copy of gather-then-drain disappears.
+func (e *Exec) openShardZero(q *query.Query, n *plan.Node, budget *Budget, res *ExecResult, parent *obs.Span) (*table.Relation, *table.Sharded, *table.Schema, error) {
+	t0 := time.Now()
+	defer func() { res.Times[n.Key()] += time.Since(t0) }()
+	key := n.Key()
+	alias := n.Leaf.Names()[0]
+	tbl, ok := q.TableOf(alias)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("engine: alias %q not in query", alias)
+	}
+	sh, ok := e.eng.Cat.ShardsOf(tbl)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("engine: table %q lost its shard layout", tbl)
+	}
+	base := e.eng.Cat.MustGet(tbl).Renamed(alias)
+	slab := e.scanSlab()
+	sp := e.opSpan(parent, obs.KScan, alias).SetStr("expr", key).
+		SetNum("selections", 0).SetNum("shards", float64(sh.NumShards()))
+	total := 0
+	for h := 0; h < sh.NumShards(); h++ {
+		cnt := len(sh.Shard(h))
+		ssp := e.Obs.StartChild(sp, obs.KShard, fmt.Sprintf("s%d", h))
+		charged := 0
+		for lo := 0; lo < cnt; lo += slab {
+			chunk := slab
+			if cnt-lo < chunk {
+				chunk = cnt - lo
+			}
+			if err := budget.Charge(chunk); err != nil {
+				ssp.SetStr("err", err.Error()).SetRows(cnt, charged).End()
+				sp.SetRows(total+charged, total+charged).SetStr("err", err.Error()).End()
+				return nil, nil, nil, err
+			}
+			charged += chunk
+		}
+		ssp.SetRows(cnt, cnt).End()
+		total += cnt
+	}
+	sp.SetRows(total, total).SetProduced(float64(total)).End()
+	// A drained node would charge Produced per batch and record its hardened
+	// cardinality through nodeIter; mirror both so the zero-copy handoff is
+	// indistinguishable from a complete drain.
+	res.Produced += float64(total)
+	res.Counts[key] = float64(total)
+	return table.NewRelation(key, base.Schema, base.Rows), sh, base.Schema, nil
+}
+
+// openShardLeaf is openLeaf's base-table branch over the table's shard
+// layout: the same KScan span (plus a "shards" attribute), the same
+// pushed-down selections, but the rows drain shard-major with one KShard
+// child span per storage shard.
+func (e *Exec) openShardLeaf(q *query.Query, n *plan.Node, budget *Budget, parent *obs.Span) (*shardScanIter, *table.Schema, error) {
+	key := n.Key()
+	alias := n.Leaf.Names()[0]
+	tbl, ok := q.TableOf(alias)
+	if !ok {
+		return nil, nil, fmt.Errorf("engine: alias %q not in query", alias)
+	}
+	sh, ok := e.eng.Cat.ShardsOf(tbl)
+	if !ok {
+		return nil, nil, fmt.Errorf("engine: table %q lost its shard layout", tbl)
+	}
+	base := e.eng.Cat.MustGet(tbl).Renamed(alias)
+	sels := q.SelsAt(n.Leaf)
+	sp := e.opSpan(parent, obs.KScan, alias).SetStr("expr", key).
+		SetNum("selections", float64(len(sels))).SetNum("shards", float64(sh.NumShards()))
+	it := &shardScanIter{e: e, sp: sp, key: key, base: base, sh: sh, sels: sels, budget: budget, slab: e.scanSlab()}
+	if len(sels) > 0 {
+		bound, ok := bindSels(sels, base.Schema)
+		if !ok {
+			sp.End()
+			return nil, nil, fmt.Errorf("engine: selections not bindable on %s", base.Schema)
+		}
+		it.bound = bound
+	}
+	return it, base.Schema, nil
+}
+
+// shardScanIter is the shard-local scan of a co-partitioned build side: it
+// drains the table's storage shards in shard-index order, applying
+// pushed-down selections slab by slab exactly like scanIter (same budget
+// charges — per-slab counts without selections, per-kept-row with — so
+// totals are identical to the unsharded scan). Shard-major output order is
+// safe only because the consumer is a hash-routed build whose per-key
+// layout is shard-order-independent; it is never a streaming probe side.
+type shardScanIter struct {
+	e      *Exec
+	sp     *obs.Span
+	key    string
+	base   *table.Relation // renamed view: schema under the query alias
+	sh     *table.Sharded
+	sels   []*query.SelPred
+	bound  []boundSel
+	budget *Budget
+	slab   int
+	si     int       // current shard index
+	pos    int       // position within the current shard
+	cur    *obs.Span // current shard's KShard span
+	// bounds records the cumulative kept-row count at each shard's end. A
+	// complete drain leaves one entry per storage shard, so the consumer
+	// knows which contiguous range of the (shard-major) drained rows came
+	// from which shard — what shardLocalBuild needs to build sub-tables
+	// without re-routing.
+	bounds  []int
+	buf     []table.Row // reusable gather buffer (batches are not retained)
+	curKept int
+	total   int
+	kept    int
+	fanned  bool
+	fail    error
+	closed  bool
+}
+
+func (s *shardScanIter) Next() ([]table.Row, error) {
+	for s.si < s.sh.NumShards() {
+		idx := s.sh.Shard(s.si)
+		if s.cur == nil {
+			s.cur = s.e.Obs.StartChild(s.sp, obs.KShard, fmt.Sprintf("s%d", s.si))
+		}
+		if s.pos >= len(idx) {
+			s.cur.SetRows(len(idx), s.curKept).End()
+			s.cur, s.curKept, s.pos = nil, 0, 0
+			s.bounds = append(s.bounds, s.kept)
+			s.si++
+			continue
+		}
+		lo := s.pos
+		hi := lo + s.slab
+		if hi > len(idx) {
+			hi = len(idx)
+		}
+		s.pos = hi
+		// Gather the shard's rows through the layout's permutation into a
+		// reusable buffer; consumers copy what they keep before the next
+		// pull, per the rowIter contract.
+		ids := idx[lo:hi]
+		if cap(s.buf) < len(ids) {
+			s.buf = make([]table.Row, len(ids))
+		}
+		rows := s.buf[:len(ids)]
+		for j, id := range ids {
+			rows[j] = s.base.Rows[id]
+		}
+		s.total += len(rows)
+		if s.bound == nil {
+			s.kept += len(rows)
+			s.curKept += len(rows)
+			if err := s.budget.Charge(len(rows)); err != nil {
+				s.fail = err
+				return nil, err
+			}
+			return rows, nil
+		}
+		var out []table.Row
+		if w := s.e.workers(len(rows)); w > 1 {
+			if !s.fanned {
+				s.fanned = true
+				s.sp.SetNum("workers", float64(w))
+			}
+			chunk := table.NewRelation(s.key, s.base.Schema, rows)
+			pout, err := parallelFilter(chunk, s.sels, s.budget, w, s.e.tracedRunner(s.cur))
+			s.kept += len(pout)
+			s.curKept += len(pout)
+			if err != nil {
+				s.fail = err
+				return nil, err
+			}
+			out = pout
+		} else {
+			out = make([]table.Row, 0, len(rows)/4+1)
+			for _, row := range rows {
+				keep := true
+				for _, b := range s.bound {
+					if !b.b.Eval(row).Equal(b.k) {
+						keep = false
+						break
+					}
+				}
+				if keep {
+					out = append(out, row)
+					s.kept++
+					s.curKept++
+					if err := s.budget.Charge(1); err != nil {
+						s.fail = err
+						return nil, err
+					}
+				}
+			}
+		}
+		if len(out) > 0 {
+			return out, nil
+		}
+	}
+	return nil, nil
+}
+
+func (s *shardScanIter) Close(error) {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.cur != nil {
+		if s.fail != nil {
+			s.cur.SetStr("err", s.fail.Error())
+		}
+		s.cur.SetRows(len(s.sh.Shard(s.si)), s.curKept).End()
+	}
+	if s.fail != nil {
+		s.sp.SetRows(s.total, s.kept).SetStr("err", s.fail.Error()).End()
+		return
+	}
+	s.sp.SetRows(s.total, s.kept).SetProduced(float64(s.kept)).End()
 }
 
 // peakSampleStride spaces the runtime.ReadMemStats calls of the peak-memory

@@ -110,7 +110,7 @@ func (r *Runner) Ablation(w io.Writer) error {
 	suite := udf.Generate(udf.Config{Titles: sc.UDFTitles, ScaleFactor: sc.UDFSF, Seed: sc.Seed})
 	var specs []QuerySpec
 	for _, qc := range suite.All() {
-		specs = append(specs, QuerySpec{Q: qc.Query, Cat: qc.Cat})
+		specs = append(specs, QuerySpec{Q: qc.Query, Cat: sc.shardCat(qc.Cat)})
 	}
 	bs := sc.BatchSize
 	options := []Option{

@@ -38,7 +38,7 @@ const CalibrationReplanThreshold = 8
 func (r *Runner) CalibrationStudy(w io.Writer) error {
 	sc := r.Scale
 	r.log("CalibrationStudy: generating TPC-H (sf %g)...", sc.TPCHSF)
-	cat := tpch.Generate(tpch.Config{ScaleFactor: sc.TPCHSF, Seed: sc.Seed})
+	cat := sc.shardCat(tpch.Generate(tpch.Config{ScaleFactor: sc.TPCHSF, Seed: sc.Seed}))
 	var specs []QuerySpec
 	for _, q := range tpch.Queries() {
 		specs = append(specs, QuerySpec{Q: q, Cat: cat})

@@ -27,7 +27,7 @@ import (
 func (r *Runner) Estimates(w io.Writer) error {
 	sc := r.Scale
 	r.log("Estimates: generating IMDB (titles %d, bootstrap %d)...", sc.IMDBTitles, sc.IMDBBootstrap)
-	cat := imdb.Generate(imdb.Config{Titles: sc.IMDBTitles, Bootstrap: sc.IMDBBootstrap, Seed: sc.Seed})
+	cat := sc.shardCat(imdb.Generate(imdb.Config{Titles: sc.IMDBTitles, Bootstrap: sc.IMDBBootstrap, Seed: sc.Seed}))
 	queries := imdb.Queries(sc.IMDBQueryCount, sc.Seed)
 
 	type source struct {

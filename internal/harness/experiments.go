@@ -64,6 +64,22 @@ type Scale struct {
 	// unchanged for repeated identical runs; hit rates surface in the
 	// campaign metrics (-metrics) as monsoon.plancache.hits/misses.
 	PlanCache bool
+	// Shards partitions every generated catalog into that many deterministic
+	// hash shards (first-column layout), switching on the engine's
+	// exchange-style operators for every run of the campaign: 0 or 1 keeps
+	// the single unsharded store. Query answers are bit-identical at every
+	// setting; only wall times and the exchange telemetry change.
+	Shards int
+}
+
+// shardCat applies the campaign's shard layout to a freshly generated
+// catalog; every experiment's catalog passes through here so -shards covers
+// the whole harness uniformly.
+func (sc Scale) shardCat(cat *table.Catalog) *table.Catalog {
+	if sc.Shards > 1 {
+		cat.Shard(sc.Shards)
+	}
+	return cat
 }
 
 // Tiny is the scale unit tests and testing.B benchmarks use.
@@ -242,7 +258,7 @@ func (r *Runner) Table2(w io.Writer) error {
 	}
 	for _, ds := range datasets {
 		r.log("Table 2: generating %s dataset...", ds.label)
-		cat := tpch.Generate(ds.cfg)
+		cat := sc.shardCat(tpch.Generate(ds.cfg))
 		specs := make([]QuerySpec, len(queries))
 		for i, q := range queries {
 			specs[i] = QuerySpec{Q: q, Cat: cat}
@@ -283,7 +299,7 @@ func (r *Runner) imdbBench() (*BenchResult, error) {
 	}
 	sc := r.Scale
 	r.log("IMDB: generating %d titles (bootstrap %dx)...", sc.IMDBTitles, sc.IMDBBootstrap)
-	cat := imdb.Generate(imdb.Config{Titles: sc.IMDBTitles, Bootstrap: sc.IMDBBootstrap, Seed: sc.Seed})
+	cat := sc.shardCat(imdb.Generate(imdb.Config{Titles: sc.IMDBTitles, Bootstrap: sc.IMDBBootstrap, Seed: sc.Seed}))
 	var specs []QuerySpec
 	for _, q := range imdb.Queries(sc.IMDBQueryCount, sc.Seed) {
 		specs = append(specs, QuerySpec{Q: q, Cat: cat})
@@ -388,7 +404,7 @@ func (r *Runner) Table6(w io.Writer) error {
 	if r.ottRes == nil {
 		sc := r.Scale
 		r.log("OTT: generating (SF %.4g)...", sc.OTTSF)
-		cat := ott.Generate(ott.Config{ScaleFactor: sc.OTTSF, Seed: sc.Seed})
+		cat := sc.shardCat(ott.Generate(ott.Config{ScaleFactor: sc.OTTSF, Seed: sc.Seed}))
 		var specs []QuerySpec
 		for _, c := range ott.Queries() {
 			specs = append(specs, QuerySpec{Q: c.Query, Cat: cat, Hand: c.Best})
@@ -420,7 +436,7 @@ func (r *Runner) udfBench() (*BenchResult, error) {
 	suite := udf.Generate(udf.Config{Titles: sc.UDFTitles, ScaleFactor: sc.UDFSF, Seed: sc.Seed})
 	var specs []QuerySpec
 	for _, qc := range suite.All() {
-		specs = append(specs, QuerySpec{Q: qc.Query, Cat: qc.Cat})
+		specs = append(specs, QuerySpec{Q: qc.Query, Cat: sc.shardCat(qc.Cat)})
 	}
 	par, bs := sc.Parallelism, sc.BatchSize
 	options := []Option{Defaults{Parallelism: par, BatchSize: bs}, Greedy{Parallelism: par, BatchSize: bs},
@@ -553,7 +569,7 @@ func (r *Runner) Table8(w io.Writer) error {
 func (r *Runner) PlanCacheStudy(w io.Writer) error {
 	sc := r.Scale
 	r.log("PlanCacheStudy: generating IMDB (%d titles)...", sc.IMDBTitles)
-	cat := imdb.Generate(imdb.Config{Titles: sc.IMDBTitles, Bootstrap: sc.IMDBBootstrap, Seed: sc.Seed})
+	cat := sc.shardCat(imdb.Generate(imdb.Config{Titles: sc.IMDBTitles, Bootstrap: sc.IMDBBootstrap, Seed: sc.Seed}))
 	var specs []QuerySpec
 	for _, q := range imdb.Queries(sc.IMDBQueryCount, sc.Seed) {
 		specs = append(specs, QuerySpec{Q: q, Cat: cat})
@@ -677,7 +693,7 @@ func (r *Runner) MemoryStudy(w io.Writer) error {
 
 	sf := sc.TPCHSF * 50
 	r.log("MemoryStudy: generating TPC-H (SF %.4g)...", sf)
-	cat := tpch.Generate(tpch.Config{ScaleFactor: sf, Seed: sc.Seed})
+	cat := sc.shardCat(tpch.Generate(tpch.Config{ScaleFactor: sf, Seed: sc.Seed}))
 	type job struct {
 		name string
 		cat  *table.Catalog

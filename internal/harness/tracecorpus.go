@@ -20,7 +20,7 @@ import (
 // tracefile.Diff logic.
 func (r *Runner) TraceCorpus(w io.Writer) error {
 	sc := r.Scale
-	cat := tpch.Generate(tpch.Config{ScaleFactor: sc.TPCHSF, Seed: sc.Seed})
+	cat := sc.shardCat(tpch.Generate(tpch.Config{ScaleFactor: sc.TPCHSF, Seed: sc.Seed}))
 	n := 0
 	for _, q := range tpch.Queries() {
 		opt := Monsoon{Iterations: sc.MCTSIterations, Metrics: r.Metrics, Sink: r.Sink}

@@ -69,6 +69,11 @@ const (
 	// other kind — KWorker span counts are machine-dependent; trace-diff
 	// tooling excludes them from count comparisons by default.
 	KWorker = "worker"
+	// KShard is one storage shard of an exchange-style operator (shard-local
+	// scan, partial Σ), parented to the operator span. Shard counts depend on
+	// the catalog's -shards layout, not the query, so like KWorker they are
+	// excluded from trace-diff count comparisons by default.
+	KShard = "shard"
 )
 
 // AttrCacheHit is the string attribute set on KPlan spans when a plan cache

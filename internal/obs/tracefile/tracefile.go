@@ -203,9 +203,10 @@ type DiffOptions struct {
 	// both sides — relative tolerance is meaningless at microsecond scale.
 	// Defaults to 5ms when zero and TimingTol is set.
 	MinTiming time.Duration
-	// IncludeWorkers compares "worker" span counts too. Off by default:
-	// worker fan-out follows GOMAXPROCS, so those counts are
-	// machine-dependent while every other kind is deterministic.
+	// IncludeWorkers compares "worker" and "shard" span counts too. Off by
+	// default: worker fan-out follows GOMAXPROCS and shard fan-out follows
+	// the catalog's -shards layout, so those counts are configuration-
+	// dependent while every other kind is deterministic.
 	IncludeWorkers bool
 }
 
@@ -227,7 +228,7 @@ func Diff(a, b *Trace, opt DiffOptions) []string {
 	}
 	sort.Strings(sorted)
 	for _, k := range sorted {
-		if k == obs.KWorker && !opt.IncludeWorkers {
+		if (k == obs.KWorker || k == obs.KShard) && !opt.IncludeWorkers {
 			continue
 		}
 		if a.Counts[k] != b.Counts[k] {
@@ -252,7 +253,7 @@ func Diff(a, b *Trace, opt DiffOptions) []string {
 		bt[s.Kind] = s.Total
 	}
 	for _, k := range sorted {
-		if k == obs.KWorker && !opt.IncludeWorkers {
+		if (k == obs.KWorker || k == obs.KShard) && !opt.IncludeWorkers {
 			continue
 		}
 		x, y := at[k], bt[k]

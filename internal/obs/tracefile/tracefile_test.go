@@ -146,6 +146,20 @@ func TestDiffExcludesWorkersByDefault(t *testing.T) {
 	}
 }
 
+func TestDiffExcludesShardsByDefault(t *testing.T) {
+	// Shard fan-out follows the catalog's -shards layout the same way worker
+	// fan-out follows GOMAXPROCS, so it is excluded unless opted in.
+	a := spanTrace(map[string][]time.Duration{"scan": {1}, obs.KShard: {1, 1, 1, 1}})
+	b := spanTrace(map[string][]time.Duration{"scan": {1}, obs.KShard: {1}})
+	if diffs := Diff(a, b, DiffOptions{}); len(diffs) != 0 {
+		t.Errorf("shard counts compared by default: %v", diffs)
+	}
+	diffs := Diff(a, b, DiffOptions{IncludeWorkers: true})
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "count shard: 4 vs 1") {
+		t.Errorf("diffs with IncludeWorkers = %v", diffs)
+	}
+}
+
 func TestDiffTimings(t *testing.T) {
 	a := spanTrace(map[string][]time.Duration{"join": {100 * time.Millisecond}})
 	b := spanTrace(map[string][]time.Duration{"join": {150 * time.Millisecond}})
